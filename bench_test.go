@@ -1,0 +1,120 @@
+// Package vmgrid's top-level benchmarks regenerate the paper's
+// evaluation, one benchmark per table or figure, plus the ablations
+// indexed in DESIGN.md. Each benchmark iteration runs the full
+// experiment in simulated time; the reported ns/op is host time to
+// simulate it (the paper-comparable numbers are printed in the tables
+// via cmd/gridbench and recorded in EXPERIMENTS.md).
+package vmgrid_test
+
+import (
+	"testing"
+
+	"vmgrid/internal/experiments"
+)
+
+// BenchmarkFigure1Microbenchmark regenerates Figure 1: the twelve
+// (load class × load placement × test placement) slowdown bars.
+func BenchmarkFigure1Microbenchmark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure1(experiments.Fig1Config{
+			Seed: uint64(i + 1), Samples: 200, TaskSeconds: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable1Macrobenchmark regenerates Table 1: SPECseis and
+// SPECclimate on physical hardware, VM with local state, and VM with
+// state over the grid virtual file system.
+func BenchmarkTable1Macrobenchmark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable2Startup regenerates Table 2: globusrun-driven VM
+// startup for reboot/restore × persistent/DiskFS/LoopbackNFS.
+func BenchmarkTable2Startup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(experiments.Table2Config{
+			Seed: uint64(i + 1), Samples: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkAblationStaging regenerates ablation A: staging vs on-demand
+// image transfer across working-set fractions.
+func BenchmarkAblationStaging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationStaging(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationProxyCache regenerates ablation B: sequential boots
+// sharing a master image through the host buffer cache.
+func BenchmarkAblationProxyCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationProxyCache(uint64(i+1), 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationScheduling regenerates ablation C: lottery vs WFQ vs
+// stop/cont enforcement of a 70/30 split.
+func BenchmarkAblationScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationScheduling(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMigration regenerates ablation D: migrate vs restart
+// for an interrupted long job.
+func BenchmarkAblationMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMigration(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOverlay regenerates ablation F: overlay routing
+// around a degraded direct path.
+func BenchmarkAblationOverlay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationOverlay(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPredictors regenerates ablation E: RPS predictor
+// accuracy on synthetic host load.
+func BenchmarkAblationPredictors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPredictors(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Command gridbench regenerates the paper's evaluation — Figure 1,
+// Table 1, Table 2 — and the repository's ablations, printing each as an
+// aligned text table.
+//
+// Usage:
+//
+//	gridbench [-exp all|fig1|table1|table2|ablation-staging|ablation-cache|
+//	           ablation-sched|ablation-migration|ablation-rps]
+//	          [-seed N] [-samples N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vmgrid/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gridbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gridbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	samples := fs.Int("samples", 0, "override sample count (0 = paper default)")
+	format := fs.String("format", "text", "output format: text or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var emit func(*experiments.Table)
+	switch *format {
+	case "text":
+		emit = func(t *experiments.Table) { fmt.Println(t) }
+	case "csv":
+		emit = func(t *experiments.Table) { fmt.Print(t.CSV()) }
+	default:
+		return fmt.Errorf("unknown format %q (want text or csv)", *format)
+	}
+
+	runners := map[string]func() error{
+		"fig1": func() error {
+			cfg := experiments.DefaultFig1Config()
+			cfg.Seed = *seed
+			if *samples > 0 {
+				cfg.Samples = *samples
+			}
+			rows, err := experiments.Figure1(cfg)
+			if err != nil {
+				return err
+			}
+			emit(experiments.Figure1Table(rows))
+			return nil
+		},
+		"table1": func() error {
+			rows, err := experiments.Table1(*seed)
+			if err != nil {
+				return err
+			}
+			emit(experiments.Table1Table(rows))
+			return nil
+		},
+		"table2": func() error {
+			cfg := experiments.DefaultTable2Config()
+			cfg.Seed = *seed
+			if *samples > 0 {
+				cfg.Samples = *samples
+			}
+			rows, err := experiments.Table2(cfg)
+			if err != nil {
+				return err
+			}
+			emit(experiments.Table2Table(rows))
+			return nil
+		},
+		"ablation-staging": func() error {
+			rows, err := experiments.AblationStaging(*seed)
+			if err != nil {
+				return err
+			}
+			emit(experiments.StagingTable(rows))
+			return nil
+		},
+		"ablation-cache": func() error {
+			n := 4
+			if *samples > 0 {
+				n = *samples
+			}
+			rows, err := experiments.AblationProxyCache(*seed, n)
+			if err != nil {
+				return err
+			}
+			emit(experiments.CacheTable(rows))
+			return nil
+		},
+		"ablation-sched": func() error {
+			rows, err := experiments.AblationScheduling(*seed)
+			if err != nil {
+				return err
+			}
+			emit(experiments.SchedTable(rows))
+			return nil
+		},
+		"ablation-migration": func() error {
+			rows, err := experiments.AblationMigration(*seed)
+			if err != nil {
+				return err
+			}
+			emit(experiments.MigrationTable(rows))
+			return nil
+		},
+		"ablation-overlay": func() error {
+			rows, err := experiments.AblationOverlay(*seed)
+			if err != nil {
+				return err
+			}
+			emit(experiments.OverlayTable(rows))
+			return nil
+		},
+		"ablation-rps": func() error {
+			rows, err := experiments.AblationPredictors(*seed)
+			if err != nil {
+				return err
+			}
+			emit(experiments.PredictorTable(rows))
+			return nil
+		},
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{
+			"fig1", "table1", "table2",
+			"ablation-staging", "ablation-cache", "ablation-sched",
+			"ablation-migration", "ablation-overlay", "ablation-rps",
+		} {
+			if err := runners[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	runner, ok := runners[*exp]
+	if !ok {
+		names := make([]string, 0, len(runners)+1)
+		names = append(names, "all")
+		for name := range runners {
+			names = append(names, name)
+		}
+		return fmt.Errorf("unknown experiment %q (want one of: %s)", *exp, strings.Join(names, ", "))
+	}
+	return runner()
+}

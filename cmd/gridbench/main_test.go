@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	err := run([]string{"-exp", "warp-drive"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestFastExperimentsRun(t *testing.T) {
+	// Run the cheap experiments end to end through the CLI path.
+	for _, exp := range []string{"ablation-rps", "ablation-sched", "ablation-overlay"} {
+		if err := run([]string{"-exp", exp, "-seed", "2"}); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestSampleOverride(t *testing.T) {
+	if err := run([]string{"-exp", "table2", "-samples", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "fig1", "-samples", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	if err := run([]string{"-exp", "ablation-rps", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "ablation-rps", "-format", "yaml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

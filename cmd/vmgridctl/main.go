@@ -1,0 +1,307 @@
+// Command vmgridctl drives a running vmgridd over TCP.
+//
+// Usage:
+//
+//	vmgridctl [-addr host:7609] <command> [args]
+//
+// Commands:
+//
+//	status
+//	ping
+//	add-node   -name N -site S -roles compute,front-end [-slots 2] [-dhcp 10.0.0.]
+//	connect    -a A -b B [-kind lan|wan]
+//	install    -node N -image I [-os OS] [-disk-bytes B] [-mem-bytes B]
+//	mkdata     -node N -file F -bytes B
+//	session    -user U -front F -image I [-mode restore|reboot]
+//	           [-disk non-persistent|persistent]
+//	           [-access local|loopback|on-demand|staged]
+//	           [-data-node N -data-file F] [-home N] [-site S]
+//	run        -session S -cpu SECONDS [-reads N -read-bytes B -mount M]
+//	migrate    -session S -target NODE
+//	hibernate  -session S
+//	wake       -session S
+//	shutdown   -session S
+//	usage      -session S
+//	query      -kind host|vm-future|vm|image-server|data-server
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"vmgrid/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vmgridctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("vmgridctl", flag.ContinueOnError)
+	addr := global.String("addr", "127.0.0.1:7609", "vmgridd address")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing command (try: status, session, run, migrate, query)")
+	}
+	cmd, cmdArgs := rest[0], rest[1:]
+
+	c, err := wire.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	switch cmd {
+	case "ping":
+		if err := c.Ping(); err != nil {
+			return err
+		}
+		fmt.Println("pong")
+		return nil
+
+	case "status":
+		st, err := c.Status()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("virtual time: %.1fs\n", st.VirtualSec)
+		fmt.Println("nodes:")
+		for _, n := range st.Nodes {
+			fmt.Printf("  %-12s site=%-6s slots=%d runnable=%d files=%d\n",
+				n.Name, n.Site, n.Slots, n.Runnable, len(n.Files))
+		}
+		fmt.Println("sessions:")
+		for _, s := range st.Sessions {
+			fmt.Printf("  %-20s state=%-10s node=%-10s addr=%s\n",
+				s.Name, s.State, s.Node, s.Addr)
+		}
+		return nil
+
+	case "add-node":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		name := fs.String("name", "", "node name")
+		site := fs.String("site", "", "site")
+		roles := fs.String("roles", "", "comma-separated roles")
+		slots := fs.Int("slots", 0, "VM slots for compute nodes")
+		dhcp := fs.String("dhcp", "", "DHCP prefix (e.g. 10.0.0.)")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		return c.AddNode(wire.AddNodeParams{
+			Name: *name, Site: *site,
+			Roles: splitList(*roles), Slots: *slots, DHCPPrefix: *dhcp,
+		})
+
+	case "connect":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		a := fs.String("a", "", "first node")
+		b := fs.String("b", "", "second node")
+		kind := fs.String("kind", "lan", "lan or wan")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		return c.Connect(*a, *b, *kind)
+
+	case "install":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		node := fs.String("node", "", "node")
+		image := fs.String("image", "", "image name")
+		osName := fs.String("os", "redhat-7.2", "guest OS")
+		diskBytes := fs.Int64("disk-bytes", 2<<30, "disk size")
+		memBytes := fs.Int64("mem-bytes", 128<<20, "memory snapshot size (0 = cold image)")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		return c.InstallImage(wire.InstallImageParams{
+			Node: *node, Name: *image, OS: *osName,
+			DiskBytes: *diskBytes, MemBytes: *memBytes,
+		})
+
+	case "mkdata":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		node := fs.String("node", "", "node")
+		file := fs.String("file", "", "file name")
+		bytes := fs.Int64("bytes", 1<<30, "size")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		return c.CreateData(wire.CreateDataParams{Node: *node, File: *file, Bytes: *bytes})
+
+	case "session":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		user := fs.String("user", "", "grid user")
+		front := fs.String("front", "", "front-end node")
+		image := fs.String("image", "", "image name")
+		mode := fs.String("mode", "restore", "restore or reboot")
+		disk := fs.String("disk", "non-persistent", "disk policy")
+		access := fs.String("access", "local", "image access")
+		dataNode := fs.String("data-node", "", "data server node")
+		dataFile := fs.String("data-file", "", "data file")
+		home := fs.String("home", "", "home node for tunneling")
+		site := fs.String("site", "", "preferred site")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		info, err := c.NewSession(wire.SessionParams{
+			User: *user, FrontEnd: *front, Image: *image,
+			Mode: *mode, Disk: *disk, Access: *access,
+			DataNode: *dataNode, DataFile: *dataFile,
+			HomeNode: *home, Site: *site,
+		})
+		if err != nil {
+			return err
+		}
+		printSession(info)
+		return nil
+
+	case "run":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		session := fs.String("session", "", "session name")
+		name := fs.String("name", "job", "workload name")
+		cpu := fs.Float64("cpu", 0, "CPU seconds")
+		reads := fs.Int("reads", 0, "data reads")
+		readBytes := fs.Int64("read-bytes", 0, "data bytes")
+		mount := fs.String("mount", "data", "mount for reads")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		res, err := c.Run(wire.RunParams{
+			Session: *session, Name: *name, CPUSeconds: *cpu,
+			Reads: *reads, ReadBytes: *readBytes, Mount: *mount,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: elapsed %.1fs user %.1fs sys %.1fs reads %d iowait %.1fs\n",
+			res.Name, res.ElapsedSec, res.UserSec, res.SysSec, res.Reads, res.IOWaitSec)
+		return nil
+
+	case "migrate":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		session := fs.String("session", "", "session name")
+		target := fs.String("target", "", "target node")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		info, err := c.Migrate(*session, *target)
+		if err != nil {
+			return err
+		}
+		printSession(info)
+		return nil
+
+	case "usage":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		session := fs.String("session", "", "session name")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		u, err := c.Usage(*session)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("session %s\n", u.Session)
+		fmt.Printf("  host cpu:    %.1fs\n", u.CPUSeconds)
+		fmt.Printf("  guest work:  %.1fs (efficiency %.1f%%)\n", u.GuestUserSeconds, u.Efficiency*100)
+		fmt.Printf("  cow diff:    %d KB\n", u.DiffBytes>>10)
+		fmt.Printf("  image fetch: %d KB\n", u.ImageBytesFetched>>10)
+		fmt.Printf("  data fetch:  %d KB\n", u.DataBytesFetched>>10)
+		fmt.Printf("  wall time:   %.1fs\n", u.WallSeconds)
+		return nil
+
+	case "hibernate", "wake", "shutdown":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		session := fs.String("session", "", "session name")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		switch cmd {
+		case "hibernate":
+			info, err := c.Hibernate(*session)
+			if err != nil {
+				return err
+			}
+			printSession(info)
+		case "wake":
+			info, err := c.Wake(*session)
+			if err != nil {
+				return err
+			}
+			printSession(info)
+		case "shutdown":
+			if err := c.Shutdown(*session); err != nil {
+				return err
+			}
+			fmt.Println("ok")
+		}
+		return nil
+
+	case "query":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		kind := fs.String("kind", "vm-future", "record kind")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		entries, err := c.Query(*kind)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			keys := make([]string, 0, len(e.Attrs))
+			for k := range e.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var attrs []string
+			for _, k := range keys {
+				attrs = append(attrs, fmt.Sprintf("%s=%v", k, e.Attrs[k]))
+			}
+			fmt.Printf("%-14s %-24s %s\n", e.Kind, e.Name, strings.Join(attrs, " "))
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func printSession(info wire.SessionInfo) {
+	fmt.Printf("session %s\n", info.Name)
+	fmt.Printf("  state:     %s\n", info.State)
+	fmt.Printf("  node:      %s\n", info.Node)
+	if info.Addr != "" {
+		fmt.Printf("  address:   %s\n", info.Addr)
+	}
+	if info.ImageServer != "" {
+		fmt.Printf("  image via: %s\n", info.ImageServer)
+	}
+	fmt.Printf("  local user: %s\n", info.LocalUser)
+	fmt.Printf("  console:   %s\n", info.Console)
+	if info.StartupSec > 0 {
+		fmt.Printf("  startup:   %.1fs\n", info.StartupSec)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"vmgrid/internal/wire"
+)
+
+// startDaemon spins a wire server with the demo-like minimal fabric and
+// returns its address.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	srv := wire.NewServer(1)
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	l := wire.NewLocal(srv)
+	steps := []func() error{
+		func() error {
+			return l.AddNode(wire.AddNodeParams{Name: "front", Site: "s", Roles: []string{"front-end"}})
+		},
+		func() error {
+			return l.AddNode(wire.AddNodeParams{Name: "c1", Site: "s", Roles: []string{"compute"},
+				Slots: 2, DHCPPrefix: "10.0.0."})
+		},
+		func() error { return l.Connect("front", "c1", "lan") },
+		func() error {
+			return l.InstallImage(wire.InstallImageParams{Node: "c1", Name: "rh72", OS: "rh",
+				DiskBytes: 1 << 30, MemBytes: 128 << 20})
+		},
+		func() error { return l.CreateData(wire.CreateDataParams{Node: "c1", File: "d", Bytes: 1 << 20}) },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("setup step %d: %v", i, err)
+		}
+	}
+	return srv.Addr()
+}
+
+func ctl(t *testing.T, addr string, args ...string) error {
+	t.Helper()
+	full := append([]string{"-addr", addr}, args...)
+	return run(full)
+}
+
+func TestCtlCommandFlow(t *testing.T) {
+	addr := startDaemon(t)
+	if err := ctl(t, addr, "ping"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "status"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "session", "-user", "u", "-front", "front", "-image", "rh72"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "run", "-session", "sess-1-u", "-cpu", "5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "usage", "-session", "sess-1-u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "hibernate", "-session", "sess-1-u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "wake", "-session", "sess-1-u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "query", "-kind", "vm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "shutdown", "-session", "sess-1-u"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtlBuildsTopology(t *testing.T) {
+	addr := startDaemon(t)
+	if err := ctl(t, addr, "add-node", "-name", "x", "-site", "s", "-roles", "compute,image-server", "-slots", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "connect", "-a", "x", "-b", "c1", "-kind", "wan"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "install", "-node", "x", "-image", "rh71"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "mkdata", "-node", "x", "-file", "f", "-bytes", "1024"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtlErrors(t *testing.T) {
+	addr := startDaemon(t)
+	if err := ctl(t, addr); err == nil || !strings.Contains(err.Error(), "missing command") {
+		t.Errorf("no command: %v", err)
+	}
+	if err := ctl(t, addr, "explode"); err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Errorf("unknown command: %v", err)
+	}
+	if err := ctl(t, addr, "run", "-session", "ghost", "-cpu", "1"); err == nil {
+		t.Error("run on ghost session accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:1", "ping"}); err == nil {
+		t.Error("dial to dead address succeeded")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("splitList = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitList = %v", got)
+		}
+	}
+	if splitList("") != nil {
+		t.Error("empty list not nil")
+	}
+}

@@ -1,0 +1,119 @@
+// Command vmgridd serves a vmgrid fabric over TCP. The grid starts
+// empty; build topology and images with vmgridctl (or any client of the
+// wire protocol), then create and manage VM sessions.
+//
+// Usage:
+//
+//	vmgridd [-listen :7609] [-seed 1] [-demo]
+//
+// With -demo the daemon pre-builds the two-site testbed used throughout
+// the paper reproduction: front end, two compute nodes and a data server
+// on one LAN, an image server across a WAN, a 2 GB RedHat 7.2 image
+// (warm snapshot included), and a 1 GB user dataset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"vmgrid/internal/hw"
+	"vmgrid/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vmgridd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", ":7609", "listen address")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	demo := flag.Bool("demo", false, "pre-build the paper's two-site testbed")
+	flag.Parse()
+
+	srv := wire.NewServer(*seed)
+	if *demo {
+		if err := buildDemo(srv); err != nil {
+			return fmt.Errorf("demo fabric: %w", err)
+		}
+	}
+	if err := srv.Serve(*listen); err != nil {
+		return err
+	}
+	fmt.Printf("vmgridd: serving on %s (seed %d, demo=%v)\n", srv.Addr(), *seed, *demo)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("vmgridd: shutting down")
+	return srv.Close()
+}
+
+// buildDemo assembles the standard testbed directly on the in-process
+// grid (no need to round-trip through the socket for our own setup).
+func buildDemo(srv *wire.Server) error {
+	c := fabricBuilder{srv: srv}
+	c.node(wire.AddNodeParams{Name: "front", Site: "nwu", Roles: []string{"front-end"}})
+	c.node(wire.AddNodeParams{Name: "compute1", Site: "nwu", Roles: []string{"compute"}, Slots: 2, DHCPPrefix: "10.1.0."})
+	c.node(wire.AddNodeParams{Name: "compute2", Site: "nwu", Roles: []string{"compute"}, Slots: 2, DHCPPrefix: "10.1.1."})
+	c.node(wire.AddNodeParams{Name: "data", Site: "nwu", Roles: []string{"data-server"}})
+	c.node(wire.AddNodeParams{Name: "images", Site: "ufl", Roles: []string{"image-server"}})
+	lan := []string{"front", "compute1", "compute2", "data"}
+	for i, a := range lan {
+		for _, b := range lan[i+1:] {
+			c.link(a, b, "lan")
+		}
+	}
+	for _, a := range []string{"front", "compute1", "compute2"} {
+		c.link(a, "images", "wan")
+	}
+	for _, node := range []string{"compute1", "compute2", "images"} {
+		c.image(wire.InstallImageParams{
+			Node: node, Name: "rh72", OS: "redhat-7.2",
+			DiskBytes: 2 * hw.GB, MemBytes: 128 * hw.MB,
+		})
+	}
+	c.data(wire.CreateDataParams{Node: "data", File: "dataset", Bytes: 1 * hw.GB})
+	return c.err
+}
+
+// fabricBuilder threads the first error through a chain of setup calls.
+type fabricBuilder struct {
+	srv *wire.Server
+	err error
+}
+
+func (b *fabricBuilder) node(p wire.AddNodeParams) {
+	if b.err != nil {
+		return
+	}
+	b.err = clientless(b.srv).AddNode(p)
+}
+
+func (b *fabricBuilder) link(a, bn, kind string) {
+	if b.err != nil {
+		return
+	}
+	b.err = clientless(b.srv).Connect(a, bn, kind)
+}
+
+func (b *fabricBuilder) image(p wire.InstallImageParams) {
+	if b.err != nil {
+		return
+	}
+	b.err = clientless(b.srv).InstallImage(p)
+}
+
+func (b *fabricBuilder) data(p wire.CreateDataParams) {
+	if b.err != nil {
+		return
+	}
+	b.err = clientless(b.srv).CreateData(p)
+}
+
+func clientless(srv *wire.Server) *wire.Local { return wire.NewLocal(srv) }

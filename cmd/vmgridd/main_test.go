@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+
+	"vmgrid/internal/wire"
+)
+
+func TestBuildDemoFabric(t *testing.T) {
+	srv := wire.NewServer(1)
+	if err := buildDemo(srv); err != nil {
+		t.Fatal(err)
+	}
+	l := wire.NewLocal(srv)
+	st, err := l.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Nodes) != 5 {
+		t.Fatalf("demo fabric has %d nodes, want 5", len(st.Nodes))
+	}
+
+	// The demo fabric supports a full session immediately.
+	info, err := l.NewSession(wire.SessionParams{
+		User: "demo", FrontEnd: "front", Image: "rh72",
+		Mode: "restore", Disk: "non-persistent", Access: "local",
+		DataNode: "data", DataFile: "dataset",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "running" {
+		t.Errorf("state = %q", info.State)
+	}
+}
+
+func TestDemoFabricServesTCP(t *testing.T) {
+	srv := wire.NewServer(2)
+	if err := buildDemo(srv); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	c, err := wire.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	futures, err := c.Query("vm-future")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(futures) != 2 {
+		t.Errorf("demo futures = %d", len(futures))
+	}
+}

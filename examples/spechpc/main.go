@@ -1,0 +1,44 @@
+// Spechpc reproduces the Table 1 experiment interactively: it runs the
+// SPECseis- and SPECclimate-shaped workloads on the physical machine, on
+// a VM with local state, and on a VM whose state lives on an image
+// server across a wide-area network — then prints the overhead table and
+// the virtual-file-system statistics that explain the PVFS column.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vmgrid/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spechpc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("running the SPEChpc96-shaped macrobenchmarks (simulated)...")
+	fmt.Println("workloads: SPECseis (16395s user, syscall-light),")
+	fmt.Println("           SPECclimate (9304s user, memory-intensive)")
+	fmt.Println()
+
+	rows, err := experiments.Table1(7)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.Table1Table(rows))
+
+	fmt.Println("reading the table:")
+	fmt.Println("  - the VM costs SPECseis ~1-2% (few privileged instructions to trap)")
+	fmt.Println("  - SPECclimate pays ~4% for its shadow-page-table traffic")
+	fmt.Println("  - moving VM state to a WAN image server adds <1% more:")
+	fmt.Println("    the proxy cache turns 62000 guest reads into a few")
+	fmt.Println("    thousand prefetched round trips")
+	fmt.Println()
+	fmt.Println("this is the paper's feasibility argument: compute-bound grid")
+	fmt.Println("jobs lose almost nothing to the virtual machine abstraction.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module vmgrid
+
+go 1.22

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"vmgrid/internal/guest"
+	"vmgrid/internal/sim"
+)
+
+func frontEndFixture(t *testing.T) (*Grid, *FrontEnd) {
+	t.Helper()
+	g := testbed(t)
+	fe := NewFrontEnd(g, "S")
+	for i := 0; i < 2; i++ {
+		cfg := baseConfig()
+		cfg.User = "provider"
+		s := startSession(t, g, cfg)
+		if err := fe.AddBackend(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, fe
+}
+
+func TestFrontEndMultiplexesUsers(t *testing.T) {
+	g, fe := frontEndFixture(t)
+	if fe.Backends() != 2 {
+		t.Fatalf("backends = %d", fe.Backends())
+	}
+
+	users := []string{"A", "B", "C", "D"}
+	results := map[string]guest.TaskResult{}
+	for _, u := range users {
+		u := u
+		if err := fe.Submit(u, guest.MicroTask(30), func(r guest.TaskResult) {
+			results[u] = r
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = g.Kernel().RunUntil(g.Kernel().Now().Add(30 * sim.Minute))
+	if len(results) != len(users) {
+		t.Fatalf("finished %d/%d jobs", len(results), len(users))
+	}
+	for u, r := range results {
+		if r.Err != nil {
+			t.Errorf("user %s: %v", u, r.Err)
+		}
+		if r.UserSeconds != 30 {
+			t.Errorf("user %s retired %v", u, r.UserSeconds)
+		}
+	}
+
+	report := fe.UserReport()
+	if len(report) != 4 {
+		t.Fatalf("report has %d users", len(report))
+	}
+	for _, u := range report {
+		if u.Jobs != 1 || u.UserSeconds != 30 {
+			t.Errorf("user %s: %+v", u.User, u)
+		}
+	}
+}
+
+func TestFrontEndQueuesBeyondCapacity(t *testing.T) {
+	g, fe := frontEndFixture(t)
+	// Capacity = 2 backends × 2 tasks; the fifth job must queue.
+	finished := 0
+	for i := 0; i < 5; i++ {
+		if err := fe.Submit("u", guest.MicroTask(50), func(guest.TaskResult) { finished++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fe.Queued() != 1 {
+		t.Errorf("Queued = %d, want 1", fe.Queued())
+	}
+	_ = g.Kernel().RunUntil(g.Kernel().Now().Add(time60m()))
+	if finished != 5 {
+		t.Fatalf("finished %d/5 jobs", finished)
+	}
+	if fe.Queued() != 0 {
+		t.Errorf("queue not drained: %d", fe.Queued())
+	}
+}
+
+func time60m() sim.Duration { return sim.Hour }
+
+func TestFrontEndBalancesAcrossBackends(t *testing.T) {
+	g, fe := frontEndFixture(t)
+	for i := 0; i < 2; i++ {
+		if err := fe.Submit("u", guest.MicroTask(100), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With 2 idle backends, the 2 jobs must not share one VM.
+	busy := 0
+	for _, s := range fe.pool {
+		if s.VM().Guest().Tasks() > 0 {
+			busy++
+		}
+	}
+	if busy != 2 {
+		t.Errorf("jobs packed onto %d backend(s), want spread across 2", busy)
+	}
+	_ = g.Kernel().RunUntil(g.Kernel().Now().Add(sim.Hour))
+}
+
+func TestFrontEndValidation(t *testing.T) {
+	g := testbed(t)
+	fe := NewFrontEnd(g, "S")
+	if err := fe.Submit("u", guest.MicroTask(1), nil); !errors.Is(err, ErrNoBackends) {
+		t.Errorf("submit without backends = %v", err)
+	}
+	if err := fe.Submit("", guest.MicroTask(1), nil); err == nil {
+		t.Error("userless job accepted")
+	}
+	if err := fe.Submit("u", guest.Workload{}, nil); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	s := startSession(t, g, baseConfig())
+	s.Shutdown()
+	if err := fe.AddBackend(s); !errors.Is(err, ErrBadSession) {
+		t.Errorf("dead backend accepted: %v", err)
+	}
+}
+
+func TestFrontEndRemoveBackend(t *testing.T) {
+	g, fe := frontEndFixture(t)
+	_ = g
+	name := fe.pool[0].Name()
+	fe.RemoveBackend(name)
+	if fe.Backends() != 1 {
+		t.Errorf("backends = %d after remove", fe.Backends())
+	}
+	fe.RemoveBackend("ghost") // no-op
+	if fe.Backends() != 1 {
+		t.Errorf("backends = %d after ghost remove", fe.Backends())
+	}
+}

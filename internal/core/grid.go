@@ -1,0 +1,283 @@
+// Package core is the paper's contribution: grid computing middleware
+// whose unit of scheduling is a classic virtual machine rather than an
+// operating-system user. It ties the substrates together — VMM and
+// guest models, image storage, the grid virtual file system, virtual
+// networking, the information service, and GRAM-style dispatch — into
+// the session life cycle of the paper's Figure 3:
+//
+//  1. query the information service for a VM future,
+//  2. query for an image server holding a suitable image,
+//  3. establish the image data session (on-demand VFS or explicit staging),
+//  4. instantiate the VM through globusrun (cold boot or warm restore),
+//  5. assign a network identity (site DHCP or tunnel) and attach the
+//     user's data session,
+//  6. run the application; later shutdown, hibernate, or migrate.
+package core
+
+import (
+	"fmt"
+
+	"vmgrid/internal/gis"
+	"vmgrid/internal/gram"
+	"vmgrid/internal/hostos"
+	"vmgrid/internal/hw"
+	"vmgrid/internal/netsim"
+	"vmgrid/internal/sim"
+	"vmgrid/internal/storage"
+	"vmgrid/internal/vfs"
+	"vmgrid/internal/vnet"
+)
+
+// Grid is one virtual-machine grid: the shared simulation kernel, the
+// network joining the sites, the information service, and the attached
+// nodes.
+type Grid struct {
+	k        *sim.Kernel
+	net      *netsim.Network
+	info     *gis.Service
+	registry *gram.Registry
+	nodes    map[string]*Node
+	sessions int
+}
+
+// NewGrid creates an empty grid fabric seeded deterministically.
+func NewGrid(seed uint64) *Grid {
+	k := sim.NewKernel(seed)
+	return &Grid{
+		k:        k,
+		net:      netsim.New(k),
+		info:     gis.New(k),
+		registry: gram.NewRegistry(),
+		nodes:    make(map[string]*Node),
+	}
+}
+
+// Kernel returns the simulation kernel.
+func (g *Grid) Kernel() *sim.Kernel { return g.k }
+
+// Net returns the network, for wiring topologies.
+func (g *Grid) Net() *netsim.Network { return g.net }
+
+// Info returns the information service.
+func (g *Grid) Info() *gis.Service { return g.info }
+
+// Node returns the named node, or nil.
+func (g *Grid) Node(name string) *Node { return g.nodes[name] }
+
+// Role flags what services a node runs.
+type Role int
+
+// Node roles; a node may combine them.
+const (
+	// RoleCompute accepts VM instantiation (runs a gatekeeper).
+	RoleCompute Role = 1 << iota
+	// RoleImageServer archives VM images and exports them via the VFS.
+	RoleImageServer
+	// RoleDataServer stores user data and exports it via the VFS.
+	RoleDataServer
+	// RoleFrontEnd submits sessions on behalf of users.
+	RoleFrontEnd
+)
+
+// Node is one machine attached to the grid.
+type Node struct {
+	grid *Grid
+	name string
+	site string
+	role Role
+
+	host  *hostos.Host
+	store *storage.Store
+	vfsrv *vfs.Server
+	gk    *gram.Gatekeeper
+	dhcp  *vnet.DHCP
+
+	images map[string]storage.ImageInfo
+	slots  int
+}
+
+// NodeConfig describes a node to attach.
+type NodeConfig struct {
+	Name string
+	Site string
+	Role Role
+	Spec hw.MachineSpec
+	// Slots is how many concurrent VMs a compute node offers.
+	Slots int
+	// DHCPPrefix, when set, gives the node a pool of addresses for VM
+	// instances ("10.1.0."); compute nodes without one force tunneling.
+	DHCPPrefix string
+	// DHCPSize is the pool size (default 64).
+	DHCPSize int
+}
+
+// AddNode attaches a machine to the grid. The caller connects it to the
+// network afterwards via Grid.Net (links are topology, not node,
+// configuration).
+func (g *Grid) AddNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("core: node without a name")
+	}
+	if _, dup := g.nodes[cfg.Name]; dup {
+		return nil, fmt.Errorf("core: duplicate node %q", cfg.Name)
+	}
+	if cfg.Spec.Name == "" {
+		cfg.Spec = hw.ReferenceMachine(cfg.Name)
+	}
+	host, err := hostos.New(g.k, cfg.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: node %q: %w", cfg.Name, err)
+	}
+	n := &Node{
+		grid:   g,
+		name:   cfg.Name,
+		site:   cfg.Site,
+		role:   cfg.Role,
+		host:   host,
+		store:  storage.NewStore(host),
+		images: make(map[string]storage.ImageInfo),
+		slots:  cfg.Slots,
+	}
+	n.vfsrv = vfs.NewServer(n.store)
+	g.net.AddNode(cfg.Name)
+	if cfg.Role&RoleCompute != 0 {
+		n.gk = gram.NewGatekeeper(host)
+		g.registry.Add(cfg.Name, n.gk)
+		if n.slots <= 0 {
+			n.slots = 1
+		}
+	}
+	if cfg.DHCPPrefix != "" {
+		size := cfg.DHCPSize
+		if size <= 0 {
+			size = 64
+		}
+		n.dhcp = vnet.NewDHCP(cfg.DHCPPrefix, size)
+	}
+	if err := g.info.Register(gis.KindHost, cfg.Name, map[string]any{
+		gis.AttrSite:  cfg.Site,
+		gis.AttrSpeed: cfg.Spec.CPU.Speed,
+	}, 0); err != nil {
+		return nil, err
+	}
+	n.advertise()
+	g.nodes[cfg.Name] = n
+	return n, nil
+}
+
+// Name returns the node name (also its network address).
+func (n *Node) Name() string { return n.name }
+
+// Site returns the administrative domain.
+func (n *Node) Site() string { return n.site }
+
+// Host returns the node's host OS.
+func (n *Node) Host() *hostos.Host { return n.host }
+
+// Store returns the node's local file store.
+func (n *Node) Store() *storage.Store { return n.store }
+
+// VFSServer returns the node's virtual-file-system export.
+func (n *Node) VFSServer() *vfs.Server { return n.vfsrv }
+
+// Gatekeeper returns the node's job gatekeeper (nil unless RoleCompute).
+func (n *Node) Gatekeeper() *gram.Gatekeeper { return n.gk }
+
+// Slots returns the remaining VM capacity.
+func (n *Node) Slots() int { return n.slots }
+
+// advertise refreshes the node's VM-future record: what it is willing
+// to instantiate right now.
+func (n *Node) advertise() {
+	if n.role&RoleCompute == 0 {
+		return
+	}
+	spec := n.host.Spec()
+	_ = n.grid.info.Register(gis.KindVMFuture, n.name, map[string]any{
+		gis.AttrSite:      n.site,
+		gis.AttrSlots:     int64(n.slots),
+		gis.AttrSpeed:     spec.CPU.Speed,
+		gis.AttrMemBytes:  spec.MemBytes / 2,
+		gis.AttrDiskBytes: spec.Disk.CapacityBytes,
+		gis.AttrLoad:      float64(n.host.Runnable()),
+	}, 0)
+}
+
+// InstallImage archives a VM image on the node and advertises it. Any
+// node can hold images, but typically image servers do.
+func (n *Node) InstallImage(info storage.ImageInfo) error {
+	if err := storage.InstallImage(n.store, info); err != nil {
+		return fmt.Errorf("core: node %q: %w", n.name, err)
+	}
+	n.images[info.Name] = info
+	return n.grid.info.Register(gis.KindImageServer, n.name+"/"+info.Name, map[string]any{
+		gis.AttrImage:    info.Name,
+		gis.AttrOS:       info.OS,
+		gis.AttrSite:     n.site,
+		gis.AttrWarm:     boolAttr(info.Warm()),
+		gis.AttrMemBytes: info.MemBytes,
+		"node":           n.name,
+	}, 0)
+}
+
+// Image returns the metadata of an installed image.
+func (n *Node) Image(name string) (storage.ImageInfo, bool) {
+	info, ok := n.images[name]
+	return info, ok
+}
+
+// CreateUserData provisions a user file on a data-server node.
+func (n *Node) CreateUserData(file string, size int64) error {
+	if err := n.store.Create(file, size); err != nil {
+		return err
+	}
+	return n.grid.info.Register(gis.KindDataServer, n.name+"/"+file, map[string]any{
+		gis.AttrSite: n.site,
+		"node":       n.name,
+		"file":       file,
+	}, 0)
+}
+
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FindImage locates image servers holding the named image, closest
+// (by unloaded network latency from the requesting node) first.
+func (g *Grid) FindImage(image, from string) []gis.Entry {
+	entries := g.info.Select(gis.KindImageServer, func(e gis.Entry) bool {
+		return e.Str(gis.AttrImage) == image
+	})
+	// Order by latency from the requester; unreachable servers last.
+	type scored struct {
+		e   gis.Entry
+		lat sim.Duration
+		ok  bool
+	}
+	out := make([]scored, 0, len(entries))
+	for _, e := range entries {
+		lat, err := g.net.Latency(from, e.Str("node"), 1024)
+		out = append(out, scored{e: e, lat: lat, ok: err == nil})
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			less := func(a, b scored) bool {
+				if a.ok != b.ok {
+					return a.ok
+				}
+				return a.lat < b.lat
+			}
+			if less(out[j], out[i]) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	result := make([]gis.Entry, len(out))
+	for i, s := range out {
+		result[i] = s.e
+	}
+	return result
+}

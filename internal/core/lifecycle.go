@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"vmgrid/internal/gis"
+	"vmgrid/internal/gram"
+	"vmgrid/internal/storage"
+	"vmgrid/internal/vmm"
+)
+
+// Shutdown ends the session: the VM powers off, the non-persistent diff
+// is discarded, the address returns to the pool, and the registry entry
+// disappears. Persistent disks stay in the node's store (they are the
+// user's state).
+func (s *Session) Shutdown() {
+	if s.state == "dead" {
+		return
+	}
+	if s.vm != nil {
+		s.vm.PowerOff()
+	}
+	if s.addr != "" && s.node != nil && s.node.dhcp != nil {
+		_ = s.node.dhcp.Release(s.addr)
+		s.addr = ""
+	}
+	if s.node != nil {
+		for _, f := range []string{s.name + ".cow", s.name + ".mem", s.name + ".zeromem"} {
+			if s.node.store.Has(f) {
+				_ = s.node.store.Delete(f)
+			}
+		}
+	}
+	s.grid.info.Deregister(gis.KindVM, s.name)
+	s.releaseSlot()
+	s.state = "dead"
+	s.mark("shutdown")
+}
+
+// Hibernate checkpoints the session: the guest freezes and its memory
+// image lands in the node's store. The session can be woken later (or
+// migrated while hibernated).
+func (s *Session) Hibernate(done func(error)) error {
+	if s.state != "running" {
+		return fmt.Errorf("%w: hibernate in %q", ErrBadSession, s.state)
+	}
+	if err := s.vm.Suspend(func(err error) {
+		if err == nil {
+			s.state = "hibernated"
+			s.mark("hibernated")
+		}
+		if done != nil {
+			done(err)
+		}
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Wake resumes a hibernated session in place, re-reading the saved
+// memory image.
+func (s *Session) Wake(done func(error)) error {
+	if s.state != "hibernated" {
+		return fmt.Errorf("%w: wake in %q", ErrBadSession, s.state)
+	}
+	return s.vm.Start(vmm.WarmRestore, func(err error) {
+		if err == nil {
+			s.state = "running"
+			s.mark("woken")
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// Migrate moves the session to another compute node: suspend, transfer
+// the memory image and the copy-on-write diff, re-instantiate over the
+// target's copy of the base image, resume, and re-attach the network
+// and data sessions. The guest — task state included — survives.
+//
+// The target must be a compute node with a free slot holding the same
+// base image (read-only base sharing is what keeps migration traffic
+// down to the working set, §3.1).
+func (s *Session) Migrate(targetName string, done func(error)) error {
+	if s.state != "running" && s.state != "hibernated" {
+		return fmt.Errorf("%w: migrate in %q", ErrBadSession, s.state)
+	}
+	if s.cow == nil {
+		return fmt.Errorf("core: only non-persistent sessions migrate via diff transfer")
+	}
+	target := s.grid.nodes[targetName]
+	if target == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, targetName)
+	}
+	if target.gk == nil || target.slots <= 0 {
+		return fmt.Errorf("core: %q cannot accept a VM (no gatekeeper or slots)", targetName)
+	}
+	if _, ok := target.Image(s.cfg.Image); !ok {
+		return fmt.Errorf("%w: base image %q not on target %s", ErrNoImage, s.cfg.Image, targetName)
+	}
+
+	finish := func(err error) {
+		if done != nil {
+			done(err)
+		}
+	}
+
+	transfer := func() {
+		src := s.node
+		// Move the session state files: memory image and COW diff.
+		memFile := s.name + ".mem"
+		diffFile := s.name + ".cow"
+		if !src.store.Has(memFile) {
+			finish(fmt.Errorf("core: migrate %s: no saved memory image", s.name))
+			return
+		}
+		stageNext := func(file string, next func(error)) {
+			if !src.store.Has(file) {
+				next(nil)
+				return
+			}
+			if err := gram.Stage(s.grid.net, src.name, src.store, file,
+				target.name, target.store, file, next); err != nil {
+				next(err)
+			}
+		}
+		stageNext(memFile, func(err error) {
+			if err != nil {
+				finish(err)
+				return
+			}
+			stageNext(diffFile, func(err error) {
+				if err != nil {
+					finish(err)
+					return
+				}
+				s.arrive(target, finish)
+			})
+		})
+	}
+
+	if s.state == "running" {
+		s.mark("migrate-suspend")
+		if err := s.vm.Suspend(func(err error) {
+			if err != nil {
+				finish(err)
+				return
+			}
+			transfer()
+		}); err != nil {
+			return err
+		}
+		return nil
+	}
+	// Already hibernated: state is on disk, transfer directly.
+	s.mark("migrate-transfer")
+	transfer()
+	return nil
+}
+
+// arrive re-instantiates the session on the target node after its state
+// files landed there.
+func (s *Session) arrive(target *Node, finish func(error)) {
+	oldNode := s.node
+	oldVM := s.vm
+	oldGuest := s.vm.Guest()
+	writtenPages := s.cow.WrittenPages()
+
+	info, _ := target.Image(s.cfg.Image)
+	base, err := target.store.Open(info.DiskFile())
+	if err != nil {
+		finish(err)
+		return
+	}
+	diff, err := target.store.OpenOrCreate(s.name + ".cow")
+	if err != nil {
+		finish(err)
+		return
+	}
+	cow := storage.NewCowDisk(base, diff)
+	cow.MarkWritten(writtenPages)
+
+	localMem, err := target.store.Open(s.name + ".mem")
+	if err != nil {
+		finish(err)
+		return
+	}
+	mem := &memBackend{restore: localMem, local: localMem, dirty: true}
+
+	vm, err := vmm.New(target.host, vmm.Config{
+		Name:     s.name,
+		MemBytes: s.cfg.MemBytes,
+		Disk:     cow,
+		MemImage: mem,
+	})
+	if err != nil {
+		finish(err)
+		return
+	}
+	oldVM.PowerOff()
+	if err := vm.AdoptGuest(oldGuest); err != nil {
+		finish(err)
+		return
+	}
+
+	// Hand over bookkeeping.
+	target.slots--
+	target.advertise()
+	if s.addr != "" && oldNode.dhcp != nil {
+		_ = oldNode.dhcp.Release(s.addr)
+		s.addr = ""
+	}
+	oldNode.slots++
+	oldNode.advertise()
+	for _, f := range []string{s.name + ".cow", s.name + ".mem", s.name + ".zeromem"} {
+		if oldNode.store.Has(f) {
+			_ = oldNode.store.Delete(f)
+		}
+	}
+	s.node = target
+	s.vm = vm
+	s.cow = cow
+	s.mem = mem
+
+	if err := vm.Start(vmm.WarmRestore, func(err error) {
+		if err != nil {
+			finish(err)
+			return
+		}
+		if err := s.connect(); err != nil {
+			finish(err)
+			return
+		}
+		s.state = "running"
+		s.mark("migrated")
+		_ = s.grid.info.Register(gis.KindVM, s.name, map[string]any{
+			gis.AttrHost: s.node.name,
+			gis.AttrAddr: s.addr,
+			"user":       s.cfg.User,
+			"image":      s.cfg.Image,
+		}, 0)
+		finish(nil)
+	}); err != nil {
+		finish(err)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"vmgrid/internal/gis"
+	"vmgrid/internal/rps"
+	"vmgrid/internal/sim"
+)
+
+// Monitor closes the paper's adaptation loop (§3.2, application
+// perspective): per-node load sensors feed time series, predictors
+// forecast near-future load, and the VM-future advertisements in the
+// information service carry the *predicted* load — so FindFutures ranks
+// placements by where load is going, not just where it is.
+type Monitor struct {
+	grid     *Grid
+	interval sim.Duration
+	sensors  map[string]*rps.Sensor
+	models   map[string]*rps.AR
+	running  bool
+	next     sim.EventID
+	ticks    int
+}
+
+// StartMonitor begins sampling every compute node at the given interval
+// (the RPS host-load sensor cadence; 1 s matches the original toolkit).
+func (g *Grid) StartMonitor(interval sim.Duration) (*Monitor, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("core: monitor interval %v", interval)
+	}
+	m := &Monitor{
+		grid:     g,
+		interval: interval,
+		sensors:  make(map[string]*rps.Sensor),
+		models:   make(map[string]*rps.AR),
+	}
+	for name, node := range g.nodes {
+		if node.gk == nil {
+			continue
+		}
+		host := node.host
+		sensor, err := rps.NewSensor(g.k, interval, 512, func() float64 {
+			return host.LoadAverage()
+		})
+		if err != nil {
+			return nil, err
+		}
+		ar, err := rps.NewAR(8)
+		if err != nil {
+			return nil, err
+		}
+		m.sensors[name] = sensor
+		m.models[name] = ar
+		sensor.Start()
+	}
+	m.running = true
+	m.tick()
+	return m, nil
+}
+
+// Stop halts sampling and prediction.
+func (m *Monitor) Stop() {
+	if !m.running {
+		return
+	}
+	m.running = false
+	m.grid.k.Cancel(m.next)
+	m.next = sim.EventID{}
+	for _, s := range m.sensors {
+		s.Stop()
+	}
+}
+
+// PredictedLoad returns the current forecast for a node (falls back to
+// the last sample until the model has enough history).
+func (m *Monitor) PredictedLoad(node string) float64 {
+	sensor, ok := m.sensors[node]
+	if !ok {
+		return 0
+	}
+	series := sensor.Series()
+	model := m.models[node]
+	if series.Len() >= 32 {
+		if err := model.Train(series.Values()); err == nil {
+			p := model.Predict()
+			if p < 0 {
+				p = 0
+			}
+			return p
+		}
+	}
+	return series.Last()
+}
+
+// tick refreshes every compute node's VM-future record with the
+// predicted load.
+func (m *Monitor) tick() {
+	if !m.running {
+		return
+	}
+	m.ticks++
+	for name, node := range m.grid.nodes {
+		if node.gk == nil {
+			continue
+		}
+		spec := node.host.Spec()
+		_ = m.grid.info.Register(gis.KindVMFuture, name, map[string]any{
+			gis.AttrSite:      node.site,
+			gis.AttrSlots:     int64(node.slots),
+			gis.AttrSpeed:     spec.CPU.Speed,
+			gis.AttrMemBytes:  spec.MemBytes / 2,
+			gis.AttrDiskBytes: spec.Disk.CapacityBytes,
+			gis.AttrLoad:      m.PredictedLoad(name),
+		}, 0)
+	}
+	m.next = m.grid.k.After(m.interval, m.tick)
+}
+
+// Ticks returns how many refresh rounds have run.
+func (m *Monitor) Ticks() int { return m.ticks }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"vmgrid/internal/gis"
+	"vmgrid/internal/sim"
+	"vmgrid/internal/trace"
+
+	"vmgrid/internal/hostos"
+)
+
+func TestMonitorRefreshesPredictedLoad(t *testing.T) {
+	g := testbed(t)
+	m, err := g.StartMonitor(sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	// Put persistent load on compute1 so its forecast rises.
+	bgTrace := &trace.Trace{Step: sim.Second, Loads: []float64{2.0}}
+	lp := hostos.NewLoadProcess(g.Node("compute1").Host(), "bg", bgTrace)
+	lp.Start()
+
+	_ = g.Kernel().RunUntil(sim.Time(2 * sim.Minute))
+	if m.Ticks() < 100 {
+		t.Fatalf("monitor ticked %d times in 2 minutes", m.Ticks())
+	}
+
+	loaded := m.PredictedLoad("compute1")
+	idle := m.PredictedLoad("compute2")
+	if loaded <= idle {
+		t.Errorf("predicted load: loaded node %v <= idle node %v", loaded, idle)
+	}
+
+	// The information service reflects the forecasts...
+	e1, err := g.Info().Lookup(gis.KindVMFuture, "compute1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := g.Info().Lookup(gis.KindVMFuture, "compute2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Float(gis.AttrLoad) <= e2.Float(gis.AttrLoad) {
+		t.Errorf("advertised load: %v <= %v", e1.Float(gis.AttrLoad), e2.Float(gis.AttrLoad))
+	}
+
+	// ...so a new session avoids the loaded node.
+	s := startSession(t, g, baseConfig())
+	if s.Node().Name() != "compute2" {
+		t.Errorf("session placed on %s despite load forecast", s.Node().Name())
+	}
+}
+
+func TestMonitorStopHaltsTicks(t *testing.T) {
+	g := testbed(t)
+	m, err := g.StartMonitor(sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g.Kernel().RunUntil(sim.Time(5 * sim.Second))
+	m.Stop()
+	ticks := m.Ticks()
+	_ = g.Kernel().RunUntil(sim.Time(30 * sim.Second))
+	if m.Ticks() != ticks {
+		t.Error("monitor kept ticking after Stop")
+	}
+	m.Stop() // idempotent
+}
+
+func TestMonitorValidation(t *testing.T) {
+	g := testbed(t)
+	if _, err := g.StartMonitor(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestMonitorQueryLanguageIntegration(t *testing.T) {
+	// The monitor's records are queryable through the URGIS-style
+	// language — the paper's resource-discovery flow end to end.
+	g := testbed(t)
+	m, err := g.StartMonitor(sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	_ = g.Kernel().RunUntil(sim.Time(10 * sim.Second))
+
+	rows, err := g.Info().QueryString(
+		`select vm-future where slots >= 1 and site == "nwu" order by load limit 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Entries[0].Name == "" {
+		t.Error("empty winner")
+	}
+}

@@ -1,0 +1,680 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vmgrid/internal/gis"
+	"vmgrid/internal/gram"
+	"vmgrid/internal/guest"
+	"vmgrid/internal/sim"
+	"vmgrid/internal/storage"
+	"vmgrid/internal/vfs"
+	"vmgrid/internal/vmm"
+	"vmgrid/internal/vnet"
+)
+
+// DiskPolicy selects how the session's virtual disk relates to the base
+// image — Table 2's persistent / non-persistent axis.
+type DiskPolicy int
+
+// Disk policies.
+const (
+	// NonPersistent layers a discardable copy-on-write diff over the
+	// (possibly shared, possibly remote) base image.
+	NonPersistent DiskPolicy = iota + 1
+	// Persistent creates an explicit private copy of the disk before
+	// the VM starts.
+	Persistent
+)
+
+// String names the policy as in the paper.
+func (p DiskPolicy) String() string {
+	switch p {
+	case NonPersistent:
+		return "non-persistent"
+	case Persistent:
+		return "persistent"
+	default:
+		return fmt.Sprintf("DiskPolicy(%d)", int(p))
+	}
+}
+
+// ImageAccess selects how VM state reaches the compute node — Table 2's
+// DiskFS / LoopbackNFS axis plus the wide-area options of §3.1.
+type ImageAccess int
+
+// Image access modes.
+const (
+	// AccessLocal reads state from the compute node's own file system
+	// (Table 2 "DiskFS"). The image must be installed on the node.
+	AccessLocal ImageAccess = iota + 1
+	// AccessLoopback reads state through a loopback-mounted NFS
+	// partition of the host (Table 2 "LoopbackNFS").
+	AccessLoopback
+	// AccessOnDemand mounts the image server's files through the grid
+	// virtual file system; blocks move on demand (§3.1).
+	AccessOnDemand
+	// AccessStaged transfers whole state files from the image server
+	// before starting (GASS/GridFTP-style staging).
+	AccessStaged
+)
+
+// String names the mode.
+func (a ImageAccess) String() string {
+	switch a {
+	case AccessLocal:
+		return "DiskFS"
+	case AccessLoopback:
+		return "LoopbackNFS"
+	case AccessOnDemand:
+		return "on-demand"
+	case AccessStaged:
+		return "staged"
+	default:
+		return fmt.Sprintf("ImageAccess(%d)", int(a))
+	}
+}
+
+// infoQueryLatency models one information-service query round trip
+// (an MDS search on period hardware).
+const infoQueryLatency = 120 * sim.Millisecond
+
+// SessionConfig describes a requested VM session.
+type SessionConfig struct {
+	// User is the grid identity.
+	User string
+	// FrontEnd names the node submitting on the user's behalf.
+	FrontEnd string
+	// Image names the VM image to instantiate.
+	Image string
+	// MemBytes is the guest memory (defaults to the image's snapshot
+	// size or 128 MB).
+	MemBytes int64
+	// Mode is cold boot (VM-reboot) or warm restore (VM-restore).
+	Mode vmm.StartMode
+	// Disk is the persistence policy.
+	Disk DiskPolicy
+	// Access is how state reaches the compute node.
+	Access ImageAccess
+	// Site restricts the compute-node search ("" = any).
+	Site string
+	// DataNode/DataFile, when set, attach the user's data session
+	// (mounted as "data" in the guest) from that data server.
+	DataNode string
+	DataFile string
+	// HomeNode, when set, is where traffic tunnels if the compute site
+	// offers no addresses.
+	HomeNode string
+}
+
+func (c SessionConfig) validate() error {
+	if c.User == "" || c.FrontEnd == "" || c.Image == "" {
+		return errors.New("core: session needs User, FrontEnd, and Image")
+	}
+	if c.Mode != vmm.ColdBoot && c.Mode != vmm.WarmRestore {
+		return fmt.Errorf("core: bad start mode %v", c.Mode)
+	}
+	if c.Disk != NonPersistent && c.Disk != Persistent {
+		return fmt.Errorf("core: bad disk policy %v", c.Disk)
+	}
+	switch c.Access {
+	case AccessLocal, AccessLoopback, AccessOnDemand, AccessStaged:
+	default:
+		return fmt.Errorf("core: bad image access %v", c.Access)
+	}
+	if (c.DataNode == "") != (c.DataFile == "") {
+		return errors.New("core: DataNode and DataFile go together")
+	}
+	return nil
+}
+
+// Errors callers match with errors.Is.
+var (
+	ErrNoFuture    = errors.New("core: no VM future satisfies the query")
+	ErrNoImage     = errors.New("core: image not found")
+	ErrNoAddress   = errors.New("core: no address source (site DHCP or HomeNode)")
+	ErrBadSession  = errors.New("core: operation invalid in session state")
+	ErrUnknownNode = errors.New("core: unknown node")
+)
+
+// Event is one timestamped step of the session life cycle.
+type Event struct {
+	Step string
+	At   sim.Time
+}
+
+// Session is one VM grid session.
+type Session struct {
+	grid *Grid
+	cfg  SessionConfig
+	id   int
+	name string
+
+	node        *Node
+	imageServer string
+	info        storage.ImageInfo
+	vm          *vmm.VM
+	cow         *storage.CowDisk
+	mem         *memBackend
+	addr        string
+	tunnel      *vnet.Tunnel
+	localUser   string
+	dataClient  *vfs.Client
+	imageClient *vfs.Client
+	events      []Event
+	state       string // pending, running, hibernated, dead
+}
+
+// Name returns the session's unique name.
+func (s *Session) Name() string { return s.name }
+
+// Node returns the compute node hosting the VM.
+func (s *Session) Node() *Node { return s.node }
+
+// VM returns the underlying virtual machine.
+func (s *Session) VM() *vmm.VM { return s.vm }
+
+// Addr returns the VM's network address ("" when tunneled).
+func (s *Session) Addr() string { return s.addr }
+
+// Tunnel returns the Ethernet tunnel, when the site gave no address.
+func (s *Session) Tunnel() *vnet.Tunnel { return s.tunnel }
+
+// LocalUser returns the logical-account mapping: which local identity
+// the grid user was multiplexed onto (the PUNCH logical user account
+// model — grid middleware owns the physical accounts, users never do).
+func (s *Session) LocalUser() string { return s.localUser }
+
+// ImageServer returns the node the image was fetched from ("" for
+// locally installed images).
+func (s *Session) ImageServer() string { return s.imageServer }
+
+// State returns pending, running, hibernated, or dead.
+func (s *Session) State() string { return s.state }
+
+// Events returns the life-cycle timeline.
+func (s *Session) Events() []Event {
+	return append([]Event(nil), s.events...)
+}
+
+// EventAt returns the time of a step (-1 if it never happened).
+func (s *Session) EventAt(step string) sim.Time {
+	for _, e := range s.events {
+		if e.Step == step {
+			return e.At
+		}
+	}
+	return -1
+}
+
+func (s *Session) mark(step string) {
+	s.events = append(s.events, Event{Step: step, At: s.grid.k.Now()})
+}
+
+// Run executes a workload in the session's guest and delivers the
+// result — step 6 of the life cycle.
+func (s *Session) Run(w guest.Workload, done func(guest.TaskResult)) error {
+	if s.state != "running" || s.vm == nil {
+		return fmt.Errorf("%w: run in %q", ErrBadSession, s.state)
+	}
+	_, err := s.vm.Guest().Run(w, done)
+	return err
+}
+
+// Console returns an interactive handle description (a VNC display or
+// login session in a real deployment).
+func (s *Session) Console() string {
+	return fmt.Sprintf("vnc://%s/%s", s.node.name, s.name)
+}
+
+// memBackend routes memory-image traffic: restores read from the warm
+// image (or whatever the session last wrote), suspends write to a
+// session-private file. Writing flips subsequent reads to the private
+// copy, giving hibernate/restore the right redo semantics without ever
+// touching the shared image.
+type memBackend struct {
+	restore storage.Backend
+	local   storage.Backend
+	dirty   bool
+}
+
+var _ storage.Backend = (*memBackend)(nil)
+
+func (m *memBackend) Name() string { return "session-mem" }
+func (m *memBackend) Size() int64 {
+	if m.dirty {
+		return m.local.Size()
+	}
+	return m.restore.Size()
+}
+func (m *memBackend) src() storage.Backend {
+	if m.dirty {
+		return m.local
+	}
+	return m.restore
+}
+func (m *memBackend) Read(off, size int64, done func()) { m.src().Read(off, size, done) }
+func (m *memBackend) ReadSequential(off, size int64, done func()) {
+	m.src().ReadSequential(off, size, done)
+}
+func (m *memBackend) Write(off, size int64, done func()) {
+	m.dirty = true
+	m.local.Write(off, size, done)
+}
+
+// NewSession runs the Figure 3 life cycle and delivers the ready session
+// (or the first error) to done. The returned session handle is also
+// usable immediately for inspection of progress.
+func (g *Grid) NewSession(cfg SessionConfig, done func(*Session, error)) (*Session, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	front := g.nodes[cfg.FrontEnd]
+	if front == nil {
+		return nil, fmt.Errorf("%w: front end %q", ErrUnknownNode, cfg.FrontEnd)
+	}
+	if cfg.DataNode != "" && g.nodes[cfg.DataNode] == nil {
+		return nil, fmt.Errorf("%w: data server %q", ErrUnknownNode, cfg.DataNode)
+	}
+	g.sessions++
+	s := &Session{
+		grid:  g,
+		cfg:   cfg,
+		id:    g.sessions,
+		name:  fmt.Sprintf("sess-%d-%s", g.sessions, cfg.User),
+		state: "pending",
+	}
+	s.mark("submitted")
+
+	fail := func(err error) {
+		s.state = "dead"
+		if done != nil {
+			done(s, err)
+		}
+	}
+
+	// Step 1: query the information service for a VM future.
+	g.k.After(infoQueryLatency, func() {
+		futures := g.info.FindFutures(gis.FutureQuery{
+			MinMemBytes: cfg.MemBytes,
+			Site:        cfg.Site,
+		})
+		if len(futures) == 0 {
+			fail(fmt.Errorf("%w: image %q site %q", ErrNoFuture, cfg.Image, cfg.Site))
+			return
+		}
+		s.node = g.nodes[futures[0].Name]
+		s.node.slots--
+		s.node.advertise()
+		s.mark("future-selected")
+
+		// Step 2: locate the image.
+		g.k.After(infoQueryLatency, func() {
+			if err := s.resolveImage(); err != nil {
+				s.releaseSlot()
+				fail(err)
+				return
+			}
+			s.mark("image-located")
+
+			// Steps 3-4: the data session for the image and the VM
+			// instantiation happen inside the globusrun envelope, as in
+			// Table 2's measurement.
+			client, err := gram.NewClient(g.net, g.registry, cfg.FrontEnd, front.host)
+			if err != nil {
+				s.releaseSlot()
+				fail(err)
+				return
+			}
+			job := gram.Job{
+				Name: "start-vm:" + s.name,
+				User: cfg.User,
+				Run:  func(jobDone func(error)) { s.instantiate(jobDone) },
+			}
+			submitErr := client.Submit(s.node.name, job, func(err error) {
+				if err != nil {
+					s.releaseSlot()
+					fail(fmt.Errorf("core: start %s: %w", s.name, err))
+					return
+				}
+				s.mark("vm-running")
+				// Step 5: network identity and user data session.
+				if err := s.connect(); err != nil {
+					s.Shutdown()
+					fail(err)
+					return
+				}
+				s.mark("ready")
+				s.state = "running"
+				_ = g.info.Register(gis.KindVM, s.name, map[string]any{
+					gis.AttrHost: s.node.name,
+					gis.AttrAddr: s.addr,
+					"user":       cfg.User,
+					"image":      cfg.Image,
+				}, 0)
+				if done != nil {
+					done(s, nil)
+				}
+			})
+			if submitErr != nil {
+				s.releaseSlot()
+				fail(submitErr)
+			}
+		})
+	})
+	return s, nil
+}
+
+func (s *Session) releaseSlot() {
+	if s.node != nil {
+		s.node.slots++
+		s.node.advertise()
+	}
+}
+
+// resolveImage decides where the image comes from and records its
+// metadata.
+func (s *Session) resolveImage() error {
+	cfg := s.cfg
+	if cfg.Access == AccessLocal || cfg.Access == AccessLoopback {
+		info, ok := s.node.Image(cfg.Image)
+		if !ok {
+			return fmt.Errorf("%w: %q not installed on %s (access %v)",
+				ErrNoImage, cfg.Image, s.node.name, cfg.Access)
+		}
+		s.info = info
+		return nil
+	}
+	entries := s.grid.FindImage(cfg.Image, s.node.name)
+	if len(entries) == 0 {
+		return fmt.Errorf("%w: %q on any image server", ErrNoImage, cfg.Image)
+	}
+	server := entries[0].Str("node")
+	info, ok := s.grid.nodes[server].Image(cfg.Image)
+	if !ok {
+		return fmt.Errorf("%w: %q advertised but missing on %s", ErrNoImage, cfg.Image, server)
+	}
+	s.imageServer = server
+	s.info = info
+	return nil
+}
+
+// instantiate performs steps 3-4 on the compute node: build the state
+// backends per policy, then create and start the VM.
+func (s *Session) instantiate(done func(error)) {
+	if s.cfg.MemBytes == 0 {
+		if s.info.MemBytes > 0 {
+			s.cfg.MemBytes = s.info.MemBytes
+		} else {
+			s.cfg.MemBytes = 128 << 20
+		}
+	}
+	if s.cfg.Mode == vmm.WarmRestore && !s.info.Warm() {
+		done(fmt.Errorf("core: image %q has no memory snapshot to restore", s.info.Name))
+		return
+	}
+	s.buildBackends(func(disk storage.Backend, mem *memBackend, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		s.mem = mem
+		vm, err := vmm.New(s.node.host, vmm.Config{
+			Name:     s.name,
+			MemBytes: s.cfg.MemBytes,
+			Disk:     disk,
+			MemImage: mem,
+		})
+		if err != nil {
+			done(err)
+			return
+		}
+		s.vm = vm
+		s.localUser = fmt.Sprintf("vmuser%02d", s.id%100)
+		s.mark("vm-starting")
+		if err := vm.Start(s.cfg.Mode, done); err != nil {
+			done(err)
+		}
+	})
+}
+
+// buildBackends constructs the virtual disk and memory-image backends
+// for the session's policy and access mode, charging whatever transfers
+// they imply (the persistent copy, staging) before yielding.
+func (s *Session) buildBackends(yield func(storage.Backend, *memBackend, error)) {
+	node := s.node
+	info := s.info
+
+	// localMem is the session-private memory file used by suspend.
+	localMem, err := node.store.OpenOrCreate(s.name + ".mem")
+	if err != nil {
+		yield(nil, nil, err)
+		return
+	}
+
+	switch s.cfg.Access {
+	case AccessLocal:
+		if s.cfg.Disk == Persistent {
+			// Explicit private copy of the disk (and snapshot for warm
+			// starts) in the host's local file system.
+			diskCopy := s.name + ".disk"
+			if err := node.store.Copy(info.DiskFile(), diskCopy, func() {
+				s.copyMemIfWarm(func(restoreMem storage.Backend, err error) {
+					if err != nil {
+						yield(nil, nil, err)
+						return
+					}
+					disk, err := node.store.Open(diskCopy)
+					if err != nil {
+						yield(nil, nil, err)
+						return
+					}
+					yield(disk, &memBackend{restore: restoreMem, local: localMem}, nil)
+				})
+			}); err != nil {
+				yield(nil, nil, err)
+			}
+			return
+		}
+		base, err := node.store.Open(info.DiskFile())
+		if err != nil {
+			yield(nil, nil, err)
+			return
+		}
+		s.finishCow(base, s.localOrZeroMem(), localMem, yield)
+
+	case AccessLoopback:
+		tr := vfs.NewLoopbackTransport(s.grid.k, node.vfsrv)
+		client, err := vfs.NewClient(s.grid.k, tr, vfs.LoopbackNFSConfig())
+		if err != nil {
+			yield(nil, nil, err)
+			return
+		}
+		s.imageClient = client
+		base := client.Open(info.DiskFile(), info.DiskBytes)
+		var restoreMem storage.Backend = base
+		if info.Warm() {
+			restoreMem = client.Open(info.MemFile(), info.MemBytes)
+		}
+		s.finishCow(base, restoreMem, localMem, yield)
+
+	case AccessOnDemand:
+		client, err := s.grid.vfsClient(node.name, s.imageServer)
+		if err != nil {
+			yield(nil, nil, err)
+			return
+		}
+		s.imageClient = client
+		base := client.Open(info.DiskFile(), info.DiskBytes)
+		var restoreMem storage.Backend = base
+		if info.Warm() {
+			restoreMem = client.Open(info.MemFile(), info.MemBytes)
+		}
+		s.finishCow(base, restoreMem, localMem, yield)
+
+	case AccessStaged:
+		// Whole-file staging from the image server, then run locally.
+		src := s.grid.nodes[s.imageServer].store
+		stageDisk := s.name + ".disk"
+		err := gram.Stage(s.grid.net, s.imageServer, src, info.DiskFile(),
+			node.name, node.store, stageDisk, func(err error) {
+				if err != nil {
+					yield(nil, nil, err)
+					return
+				}
+				s.stageMemIfWarm(src, func(restoreMem storage.Backend, err error) {
+					if err != nil {
+						yield(nil, nil, err)
+						return
+					}
+					disk, err := node.store.Open(stageDisk)
+					if err != nil {
+						yield(nil, nil, err)
+						return
+					}
+					yield(disk, &memBackend{restore: restoreMem, local: localMem}, nil)
+				})
+			})
+		if err != nil {
+			yield(nil, nil, err)
+		}
+
+	default:
+		yield(nil, nil, fmt.Errorf("core: unhandled access %v", s.cfg.Access))
+	}
+}
+
+// finishCow wires the non-persistent (or trivially persistent-over-
+// remote) copy-on-write stack.
+func (s *Session) finishCow(base, restoreMem storage.Backend, localMem *storage.LocalFile,
+	yield func(storage.Backend, *memBackend, error)) {
+	diff, err := s.node.store.OpenOrCreate(s.name + ".cow")
+	if err != nil {
+		yield(nil, nil, err)
+		return
+	}
+	s.cow = storage.NewCowDisk(base, diff)
+	yield(s.cow, &memBackend{restore: restoreMem, local: localMem}, nil)
+}
+
+// localOrZeroMem returns the local warm-image backend for AccessLocal.
+func (s *Session) localOrZeroMem() storage.Backend {
+	if !s.info.Warm() {
+		f, _ := s.node.store.OpenOrCreate(s.name + ".zeromem")
+		return f
+	}
+	f, err := s.node.store.Open(s.info.MemFile())
+	if err != nil {
+		f, _ = s.node.store.OpenOrCreate(s.name + ".zeromem")
+	}
+	return f
+}
+
+// copyMemIfWarm makes the private snapshot copy for persistent local
+// sessions.
+func (s *Session) copyMemIfWarm(yield func(storage.Backend, error)) {
+	if !s.info.Warm() {
+		f, err := s.node.store.OpenOrCreate(s.name + ".zeromem")
+		yield(f, err)
+		return
+	}
+	memCopy := s.name + ".memimg"
+	if err := s.node.store.Copy(s.info.MemFile(), memCopy, func() {
+		f, err := s.node.store.Open(memCopy)
+		yield(f, err)
+	}); err != nil {
+		yield(nil, err)
+	}
+}
+
+// stageMemIfWarm transfers the snapshot for staged sessions.
+func (s *Session) stageMemIfWarm(src *storage.Store, yield func(storage.Backend, error)) {
+	if !s.info.Warm() {
+		f, err := s.node.store.OpenOrCreate(s.name + ".zeromem")
+		yield(f, err)
+		return
+	}
+	stagedMem := s.name + ".memimg"
+	err := gram.Stage(s.grid.net, s.imageServer, src, s.info.MemFile(),
+		s.node.name, s.node.store, stagedMem, func(err error) {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			f, openErr := s.node.store.Open(stagedMem)
+			yield(f, openErr)
+		})
+	if err != nil {
+		yield(nil, err)
+	}
+}
+
+// connect gives the VM a network identity (step 5) and attaches the
+// user's data session.
+func (s *Session) connect() error {
+	// Scenario 1: the site hands out addresses.
+	if s.node.dhcp != nil {
+		addr, err := s.node.dhcp.Lease(s.name)
+		if err == nil {
+			s.addr = addr
+			s.mark("addr-assigned")
+			return s.attachData()
+		}
+		// Pool exhausted: fall through to tunneling.
+	}
+	// Scenario 2: tunnel to the user's network.
+	if s.cfg.HomeNode == "" {
+		return fmt.Errorf("%w: site %q", ErrNoAddress, s.node.site)
+	}
+	tun, err := vnet.EstablishTunnel(s.grid.net, s.node.name, s.cfg.HomeNode)
+	if err != nil {
+		return err
+	}
+	s.tunnel = tun
+	s.mark("tunnel-established")
+	return s.attachData()
+}
+
+// attachData mounts the user's data server in the guest.
+func (s *Session) attachData() error {
+	if s.cfg.DataNode == "" {
+		return nil
+	}
+	dataNode := s.grid.nodes[s.cfg.DataNode]
+	if !dataNode.store.Has(s.cfg.DataFile) {
+		return fmt.Errorf("core: data file %q missing on %s", s.cfg.DataFile, s.cfg.DataNode)
+	}
+	client, err := s.grid.vfsClient(s.node.name, s.cfg.DataNode)
+	if err != nil {
+		return err
+	}
+	s.dataClient = client
+	size, _ := dataNode.store.Size(s.cfg.DataFile)
+	s.vm.Guest().Mount("data", client.Open(s.cfg.DataFile, size))
+	s.mark("data-attached")
+	return nil
+}
+
+// vfsClient builds a proxy from one node to another, picking the LAN or
+// WAN preset by measured latency.
+func (g *Grid) vfsClient(fromNode, toNode string) (*vfs.Client, error) {
+	target := g.nodes[toNode]
+	if target == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, toNode)
+	}
+	tr, err := vfs.NewNetTransport(g.net, fromNode, toNode, target.vfsrv)
+	if err != nil {
+		return nil, err
+	}
+	lat, err := g.net.Latency(fromNode, toNode, 1024)
+	if err != nil {
+		// No route: refuse to build a mount that could never move data.
+		return nil, fmt.Errorf("core: %s cannot reach %s: %w", fromNode, toNode, err)
+	}
+	cfg := vfs.LANConfig()
+	if lat > 5*sim.Millisecond {
+		cfg = vfs.WANConfig()
+	}
+	return vfs.NewClient(g.k, tr, cfg)
+}

@@ -1,0 +1,546 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vmgrid/internal/core"
+	"vmgrid/internal/guest"
+	"vmgrid/internal/hostos"
+	"vmgrid/internal/hw"
+	"vmgrid/internal/rps"
+	"vmgrid/internal/sched"
+	"vmgrid/internal/sim"
+	"vmgrid/internal/storage"
+	"vmgrid/internal/trace"
+	"vmgrid/internal/vmm"
+)
+
+// ---------------------------------------------------------------------
+// Ablation A: whole-file staging vs on-demand virtual file system (§3.1)
+// ---------------------------------------------------------------------
+
+// StagingRow compares time-to-useful-work for one working-set fraction.
+type StagingRow struct {
+	// WorkingSet is the fraction of the 2 GB image the task touches.
+	WorkingSet float64
+	// StagedSec and OnDemandSec are time from submission to task
+	// completion for the two transfer models.
+	StagedSec   float64
+	OnDemandSec float64
+}
+
+// AblationStaging sweeps the task's working-set fraction and measures a
+// short task end-to-end under whole-file staging vs on-demand transfer
+// across a WAN. The paper's §3.1 argument: "transfer of entire VM
+// states can lead to unnecessary traffic due to the copying of unused
+// data", so on-demand wins until the working set approaches the image.
+func AblationStaging(seed uint64) ([]StagingRow, error) {
+	var rows []StagingRow
+	for _, ws := range []float64{0.01, 0.05, 0.10, 0.25, 0.50, 1.0} {
+		staged, err := stagingRun(seed, core.AccessStaged, ws)
+		if err != nil {
+			return nil, fmt.Errorf("staging ws=%v staged: %w", ws, err)
+		}
+		onDemand, err := stagingRun(seed, core.AccessOnDemand, ws)
+		if err != nil {
+			return nil, fmt.Errorf("staging ws=%v on-demand: %w", ws, err)
+		}
+		rows = append(rows, StagingRow{WorkingSet: ws, StagedSec: staged, OnDemandSec: onDemand})
+	}
+	return rows, nil
+}
+
+func stagingRun(seed uint64, access core.ImageAccess, workingSet float64) (float64, error) {
+	g := core.NewGrid(seed)
+	if _, err := g.AddNode(core.NodeConfig{Name: "front", Site: "a", Role: core.RoleFrontEnd}); err != nil {
+		return 0, err
+	}
+	if _, err := g.AddNode(core.NodeConfig{Name: "compute", Site: "a", Role: core.RoleCompute,
+		Slots: 1, DHCPPrefix: "10.0.0."}); err != nil {
+		return 0, err
+	}
+	if _, err := g.AddNode(core.NodeConfig{Name: "images", Site: "b", Role: core.RoleImageServer}); err != nil {
+		return 0, err
+	}
+	if err := g.Net().BuildLAN("front", "compute"); err != nil {
+		return 0, err
+	}
+	if err := g.Net().ConnectWAN("compute", "images"); err != nil {
+		return 0, err
+	}
+	if err := g.Net().ConnectWAN("front", "images"); err != nil {
+		return 0, err
+	}
+	const diskBytes = 2 * hw.GB
+	img := storage.ImageInfo{Name: "rh72", OS: "rh72", DiskBytes: diskBytes, MemBytes: 128 * hw.MB}
+	if err := g.Node("images").InstallImage(img); err != nil {
+		return 0, err
+	}
+
+	var finishedAt sim.Time = -1
+	_, err := g.NewSession(core.SessionConfig{
+		User: "bench", FrontEnd: "front", Image: "rh72",
+		Mode: vmm.WarmRestore, Disk: core.NonPersistent, Access: access,
+	}, func(s *core.Session, err error) {
+		if err != nil {
+			return
+		}
+		// The task touches workingSet of the image through the root
+		// mount, with a little compute in between.
+		touched := int64(float64(diskBytes) * workingSet)
+		reads := int(touched / (256 << 10))
+		if reads < 1 {
+			reads = 1
+		}
+		w := guest.Workload{
+			Name:       "touch",
+			CPUSeconds: 60,
+			RootOps:    reads,
+			RootBytes:  touched,
+		}
+		if err := s.Run(w, func(guest.TaskResult) { finishedAt = g.Kernel().Now() }); err != nil {
+			panic(err) // setup bug
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	_ = g.Kernel().RunUntil(sim.Time(6 * sim.Hour))
+	if finishedAt < 0 {
+		return 0, fmt.Errorf("experiments: staging run never finished")
+	}
+	return finishedAt.Seconds(), nil
+}
+
+// StagingTable renders ablation A.
+func StagingTable(rows []StagingRow) *Table {
+	t := &Table{
+		Title:  "Ablation A: whole-file staging vs on-demand VFS (2 GB image over WAN)",
+		Note:   "time from submission to completion of a 60 s task touching the given fraction",
+		Header: []string{"working set", "staged (s)", "on-demand (s)", "winner"},
+	}
+	for _, r := range rows {
+		winner := "on-demand"
+		if r.StagedSec < r.OnDemandSec {
+			winner = "staged"
+		}
+		t.Rows = append(t.Rows, []string{
+			pct(r.WorkingSet), f1(r.StagedSec), f1(r.OnDemandSec), winner,
+		})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Ablation B: read-only image sharing through the host cache (§3.1)
+// ---------------------------------------------------------------------
+
+// CacheRow is the boot cost of the i-th VM sharing one base image.
+type CacheRow struct {
+	Instance  int
+	BootSec   float64
+	DiskReads uint64 // device requests during this boot
+}
+
+// AblationProxyCache boots N VMs one after another from the same master
+// image on one host. Later boots hit the shared buffer cache, the
+// mechanism behind "a master static Linux virtual system disk shared by
+// multiple dynamic instances".
+func AblationProxyCache(seed uint64, instances int) ([]CacheRow, error) {
+	if instances <= 0 {
+		instances = 4
+	}
+	k := sim.NewKernel(seed)
+	h, err := hostos.New(k, hw.ReferenceMachine("host"))
+	if err != nil {
+		return nil, err
+	}
+	store := storage.NewStore(h)
+	img := storage.ImageInfo{Name: "rh72", OS: "rh72", DiskBytes: 2 * hw.GB, MemBytes: 128 * hw.MB}
+	if err := storage.InstallImage(store, img); err != nil {
+		return nil, err
+	}
+
+	var rows []CacheRow
+	var bootNext func(i int)
+	var fail error
+	bootNext = func(i int) {
+		if i >= instances {
+			return
+		}
+		base, err := store.Open(img.DiskFile())
+		if err != nil {
+			fail = err
+			return
+		}
+		diff, err := store.OpenOrCreate(fmt.Sprintf("vm%d.cow", i))
+		if err != nil {
+			fail = err
+			return
+		}
+		vm, err := vmm.New(h, vmm.Config{
+			Name:     fmt.Sprintf("vm%d", i),
+			MemBytes: 128 * hw.MB,
+			Disk:     storage.NewCowDisk(base, diff),
+		})
+		if err != nil {
+			fail = err
+			return
+		}
+		start := k.Now()
+		reqBefore := h.Disk().Requests()
+		if err := vm.Start(vmm.ColdBoot, func(err error) {
+			if err != nil {
+				fail = err
+				return
+			}
+			rows = append(rows, CacheRow{
+				Instance:  i + 1,
+				BootSec:   k.Now().Sub(start).Seconds(),
+				DiskReads: h.Disk().Requests() - reqBefore,
+			})
+			// Power off so the next boot measures I/O, not CPU sharing.
+			vm.PowerOff()
+			bootNext(i + 1)
+		}); err != nil {
+			fail = err
+		}
+	}
+	bootNext(0)
+	_ = k.RunUntil(sim.Time(2 * sim.Hour))
+	if fail != nil {
+		return nil, fail
+	}
+	if len(rows) != instances {
+		return nil, fmt.Errorf("experiments: only %d/%d boots completed", len(rows), instances)
+	}
+	return rows, nil
+}
+
+// CacheTable renders ablation B.
+func CacheTable(rows []CacheRow) *Table {
+	t := &Table{
+		Title:  "Ablation B: sequential VM boots sharing one master image",
+		Note:   "later instances hit the host buffer cache for base-image blocks",
+		Header: []string{"instance", "boot (s)", "device reads"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Instance), f1(r.BootSec), fmt.Sprintf("%d", r.DiskReads),
+		})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Ablation C: resource-control mechanisms (§3.2)
+// ---------------------------------------------------------------------
+
+// SchedRow reports how one mechanism enforced a 70/30 split.
+type SchedRow struct {
+	Mechanism string
+	// ShareA is the long-run share client A achieved (target 0.7).
+	ShareA float64
+	// WorstWindow is the largest deviation of A's share from target in
+	// any 100-quantum window (short-term fairness).
+	WorstWindow float64
+}
+
+// AblationScheduling compares lottery scheduling, weighted fair
+// queueing, and SIGSTOP/SIGCONT duty-cycling at enforcing a 70/30 CPU
+// split between two competing VMs.
+func AblationScheduling(seed uint64) ([]SchedRow, error) {
+	const (
+		quanta = 20000
+		window = 100
+		target = 0.7
+	)
+	evalQuantum := func(s sched.QuantumScheduler) SchedRow {
+		countA := 0
+		worst := 0.0
+		winA := 0
+		for q := 1; q <= quanta; q++ {
+			if s.Next() == 0 {
+				countA++
+				winA++
+			}
+			if q%window == 0 {
+				dev := float64(winA)/window - target
+				if dev < 0 {
+					dev = -dev
+				}
+				if dev > worst {
+					worst = dev
+				}
+				winA = 0
+			}
+		}
+		return SchedRow{
+			Mechanism:   s.Name(),
+			ShareA:      float64(countA) / quanta,
+			WorstWindow: worst,
+		}
+	}
+
+	lot, err := sched.NewLottery(sim.NewRNG(seed), 7, 3)
+	if err != nil {
+		return nil, err
+	}
+	wfq, err := sched.NewWFQ(7, 3)
+	if err != nil {
+		return nil, err
+	}
+	rows := []SchedRow{evalQuantum(lot), evalQuantum(wfq)}
+
+	// Duty-cycle modulation on the fluid host model: two CPU-bound VMs,
+	// A capped at 70%, B at 30%, measuring A's achieved work share.
+	k := sim.NewKernel(seed)
+	h, err := hostos.New(k, hw.ReferenceMachine("host"))
+	if err != nil {
+		return nil, err
+	}
+	procA := h.Spawn("vm-a")
+	procB := h.Spawn("vm-b")
+	modA, err := sched.NewModulator(k, procA, target, 200*sim.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	modB, err := sched.NewModulator(k, procB, 1-target, 200*sim.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	modA.Start()
+	modB.Start()
+	trA := sim.NewWorkTracker(k, 1e9, nil)
+	trB := sim.NewWorkTracker(k, 1e9, nil)
+	procA.OnRate(trA.SetRate)
+	procB.OnRate(trB.SetRate)
+	procA.SetDemand(1)
+	procB.SetDemand(1)
+
+	// Sample A's share in 100×10ms windows for worst-window tracking.
+	worst := 0.0
+	var lastA, lastB float64
+	sample := func() {}
+	sample = func() {
+		a, b := trA.Consumed(), trB.Consumed()
+		da, db := a-lastA, b-lastB
+		lastA, lastB = a, b
+		if da+db > 0 {
+			dev := da/(da+db) - target
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > worst {
+				worst = dev
+			}
+		}
+		if k.Now() < sim.Time(200*sim.Second) {
+			k.After(sim.Second, sample)
+		}
+	}
+	k.After(sim.Second, sample)
+	_ = k.RunUntil(sim.Time(200 * sim.Second))
+	total := trA.Consumed() + trB.Consumed()
+	rows = append(rows, SchedRow{
+		Mechanism:   "stop/cont",
+		ShareA:      trA.Consumed() / total,
+		WorstWindow: worst,
+	})
+	return rows, nil
+}
+
+// SchedTable renders ablation C.
+func SchedTable(rows []SchedRow) *Table {
+	t := &Table{
+		Title:  "Ablation C: enforcing a 70/30 split between two VMs",
+		Note:   "long-run share of client A (target 0.70) and worst short-window deviation",
+		Header: []string{"mechanism", "share A", "worst window dev"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Mechanism, f3(r.ShareA), f3(r.WorstWindow)})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Ablation D: migration vs restart (§3.1, §4)
+// ---------------------------------------------------------------------
+
+// MigrationRow compares moving a mid-flight computation.
+type MigrationRow struct {
+	Strategy string
+	// TotalSec is submission-to-completion of a 600 s job interrupted
+	// at 300 s.
+	TotalSec float64
+	// LostWork is CPU work discarded by the strategy.
+	LostWork float64
+}
+
+// AblationMigration interrupts a long job halfway and compares finishing
+// strategies: keep running (baseline), migrate the VM to a LAN peer,
+// and kill + cold restart from scratch on the peer.
+func AblationMigration(seed uint64) ([]MigrationRow, error) {
+	run := func(strategy string) (float64, float64, error) {
+		g := core.NewGrid(seed)
+		mk := func(cfg core.NodeConfig) error {
+			_, err := g.AddNode(cfg)
+			return err
+		}
+		if err := mk(core.NodeConfig{Name: "front", Site: "lan", Role: core.RoleFrontEnd}); err != nil {
+			return 0, 0, err
+		}
+		if err := mk(core.NodeConfig{Name: "n1", Site: "lan", Role: core.RoleCompute, Slots: 1, DHCPPrefix: "10.0.1."}); err != nil {
+			return 0, 0, err
+		}
+		if err := mk(core.NodeConfig{Name: "n2", Site: "lan", Role: core.RoleCompute, Slots: 1, DHCPPrefix: "10.0.2."}); err != nil {
+			return 0, 0, err
+		}
+		if err := g.Net().BuildLAN("front", "n1", "n2"); err != nil {
+			return 0, 0, err
+		}
+		img := storage.ImageInfo{Name: "rh72", OS: "rh72", DiskBytes: 2 * hw.GB, MemBytes: 128 * hw.MB}
+		if err := g.Node("n1").InstallImage(img); err != nil {
+			return 0, 0, err
+		}
+		if err := g.Node("n2").InstallImage(img); err != nil {
+			return 0, 0, err
+		}
+
+		const jobSeconds = 600
+		var doneAt sim.Time = -1
+		var lost float64
+		_, err := g.NewSession(core.SessionConfig{
+			User: "bench", FrontEnd: "front", Image: "rh72", Site: "lan",
+			Mode: vmm.WarmRestore, Disk: core.NonPersistent, Access: core.AccessLocal,
+		}, func(s *core.Session, err error) {
+			if err != nil {
+				panic(err)
+			}
+			task := guest.MicroTask(jobSeconds)
+			if err := s.Run(task, func(guest.TaskResult) { doneAt = g.Kernel().Now() }); err != nil {
+				panic(err)
+			}
+			// Interrupt halfway through the job.
+			g.Kernel().After(300*sim.Second, func() {
+				switch strategy {
+				case "keep":
+					// nothing: baseline
+				case "migrate":
+					if err := s.Migrate("n2", func(err error) {
+						if err != nil {
+							panic(err)
+						}
+					}); err != nil {
+						panic(err)
+					}
+				case "restart":
+					progress := s.VM().Guest().UserSeconds()
+					lost = 300 - 0 // approximate: all task progress is discarded
+					_ = progress
+					s.Shutdown()
+					_, err := g.NewSession(core.SessionConfig{
+						User: "bench", FrontEnd: "front", Image: "rh72", Site: "lan",
+						Mode: vmm.WarmRestore, Disk: core.NonPersistent, Access: core.AccessLocal,
+					}, func(s2 *core.Session, err error) {
+						if err != nil {
+							panic(err)
+						}
+						if err := s2.Run(guest.MicroTask(jobSeconds), func(guest.TaskResult) {
+							doneAt = g.Kernel().Now()
+						}); err != nil {
+							panic(err)
+						}
+					})
+					if err != nil {
+						panic(err)
+					}
+				}
+			})
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		_ = g.Kernel().RunUntil(sim.Time(6 * sim.Hour))
+		if doneAt < 0 {
+			return 0, 0, fmt.Errorf("experiments: %s never finished", strategy)
+		}
+		return doneAt.Seconds(), lost, nil
+	}
+
+	var rows []MigrationRow
+	for _, strategy := range []string{"keep", "migrate", "restart"} {
+		total, lost, err := run(strategy)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MigrationRow{Strategy: strategy, TotalSec: total, LostWork: lost})
+	}
+	return rows, nil
+}
+
+// MigrationTable renders ablation D.
+func MigrationTable(rows []MigrationRow) *Table {
+	t := &Table{
+		Title:  "Ablation D: interrupting a 600 s job at t=300 s",
+		Note:   "migrate preserves guest state; restart discards it",
+		Header: []string{"strategy", "total (s)", "lost work (s)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Strategy, f1(r.TotalSec), f1(r.LostWork)})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Ablation E: load predictors for adaptation (§3.2)
+// ---------------------------------------------------------------------
+
+// PredictorRow is one (class, predictor) evaluation.
+type PredictorRow struct {
+	Load      trace.Class
+	Predictor string
+	MSE       float64
+	MAE       float64
+}
+
+// AblationPredictors evaluates the RPS predictors one-step-ahead on the
+// three load classes.
+func AblationPredictors(seed uint64) ([]PredictorRow, error) {
+	var rows []PredictorRow
+	for _, class := range []trace.Class{trace.Light, trace.Heavy} {
+		data := trace.Synthetic(class, sim.NewRNG(seed+uint64(class)), 6000).Loads
+		const train = 2000
+		mm, err := rps.NewMovingMean(500)
+		if err != nil {
+			return nil, err
+		}
+		ar, err := rps.NewAR(8)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range []rps.Predictor{&rps.LastValue{}, mm, ar} {
+			ev, err := rps.Evaluate(p, data, train)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, PredictorRow{
+				Load: class, Predictor: ev.Predictor, MSE: ev.MSE, MAE: ev.MAE,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PredictorTable renders ablation E.
+func PredictorTable(rows []PredictorRow) *Table {
+	t := &Table{
+		Title:  "Ablation E: one-step-ahead host load prediction (RPS)",
+		Note:   "lower is better; AR exploits the strong autocorrelation of host load",
+		Header: []string{"load", "predictor", "MSE", "MAE"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Load.String(), r.Predictor, f3(r.MSE), f3(r.MAE)})
+	}
+	return t
+}

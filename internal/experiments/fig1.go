@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vmgrid/internal/guest"
+	"vmgrid/internal/hostos"
+	"vmgrid/internal/hw"
+	"vmgrid/internal/sim"
+	"vmgrid/internal/storage"
+	"vmgrid/internal/trace"
+	"vmgrid/internal/vmm"
+)
+
+// Placement says where a task runs in the Figure 1 grid of scenarios.
+type Placement int
+
+// Placements.
+const (
+	OnPhysical Placement = iota + 1
+	OnVM
+)
+
+// String names the placement as in the paper's figure.
+func (p Placement) String() string {
+	switch p {
+	case OnPhysical:
+		return "physical"
+	case OnVM:
+		return "VM"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Fig1Config parameterizes the microbenchmark.
+type Fig1Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Samples per scenario (the paper uses 1000).
+	Samples int
+	// TaskSeconds is the CPU work of one test task sample.
+	TaskSeconds float64
+}
+
+// DefaultFig1Config matches the paper's setup.
+func DefaultFig1Config() Fig1Config {
+	return Fig1Config{Seed: 1, Samples: 1000, TaskSeconds: 1}
+}
+
+// Fig1Row is one of the twelve bars: mean ± stddev of test-task slowdown.
+type Fig1Row struct {
+	Load   trace.Class
+	LoadOn Placement
+	TestOn Placement
+
+	Mean, Std, Min, Max float64
+	N                   int
+}
+
+// Scenario labels the row like the paper's x axis.
+func (r Fig1Row) Scenario() string {
+	return fmt.Sprintf("load=%s/%s test=%s", r.Load, r.LoadOn, r.TestOn)
+}
+
+// Figure1 runs the microbenchmark: a synthetic CPU-bound test task
+// sampled repeatedly under {none, light, heavy} background load, for all
+// four placements of {load, test} across {physical machine, VM}.
+// Slowdown is elapsed time over the unloaded-physical elapsed time.
+func Figure1(cfg Fig1Config) ([]Fig1Row, error) {
+	if cfg.Samples <= 0 {
+		cfg.Samples = 1000
+	}
+	if cfg.TaskSeconds <= 0 {
+		cfg.TaskSeconds = 1
+	}
+
+	baseline, err := fig1Baseline(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig1Row
+	for _, load := range trace.Classes() {
+		for _, loadOn := range []Placement{OnPhysical, OnVM} {
+			for _, testOn := range []Placement{OnPhysical, OnVM} {
+				row, err := fig1Scenario(cfg, baseline, load, loadOn, testOn)
+				if err != nil {
+					return nil, fmt.Errorf("scenario %v/%v/%v: %w", load, loadOn, testOn, err)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// fig1Baseline measures the unloaded physical elapsed time of one task.
+func fig1Baseline(cfg Fig1Config) (float64, error) {
+	k := sim.NewKernel(cfg.Seed)
+	h, err := hostos.New(k, hw.ReferenceMachine("phys"))
+	if err != nil {
+		return 0, err
+	}
+	os := guest.NewOS(guest.NewNativeCPU(h.Spawn("test")))
+	os.MarkBooted()
+	var elapsed float64
+	if _, err := os.Run(guest.MicroTask(cfg.TaskSeconds), func(r guest.TaskResult) {
+		elapsed = r.Elapsed().Seconds()
+	}); err != nil {
+		return 0, err
+	}
+	k.Run()
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("experiments: baseline task never finished")
+	}
+	return elapsed, nil
+}
+
+// fig1VM builds a warm-restored VM on h ready to run tasks; it returns
+// once the VM is running (the caller drives the kernel).
+func fig1VM(k *sim.Kernel, h *hostos.Host, name string, ready func(*vmm.VM)) error {
+	store := storage.NewStore(h)
+	img := storage.ImageInfo{Name: "rh72-" + name, OS: "rh72", DiskBytes: 2 * hw.GB, MemBytes: 128 * hw.MB}
+	if err := storage.InstallImage(store, img); err != nil {
+		return err
+	}
+	base, err := store.Open(img.DiskFile())
+	if err != nil {
+		return err
+	}
+	diff, err := store.OpenOrCreate(name + ".cow")
+	if err != nil {
+		return err
+	}
+	mem, err := store.Open(img.MemFile())
+	if err != nil {
+		return err
+	}
+	vm, err := vmm.New(h, vmm.Config{
+		Name:     name,
+		MemBytes: 128 * hw.MB,
+		Disk:     storage.NewCowDisk(base, diff),
+		MemImage: mem,
+	})
+	if err != nil {
+		return err
+	}
+	return vm.Start(vmm.WarmRestore, func(err error) {
+		if err == nil {
+			ready(vm)
+		}
+	})
+}
+
+func fig1Scenario(cfg Fig1Config, baseline float64, load trace.Class, loadOn, testOn Placement) (Fig1Row, error) {
+	k := sim.NewKernel(cfg.Seed ^ (uint64(load)<<8 | uint64(loadOn)<<4 | uint64(testOn)))
+	h, err := hostos.New(k, hw.ReferenceMachine("phys"))
+	if err != nil {
+		return Fig1Row{}, err
+	}
+	// All four placements of one load class replay the same trace, as
+	// the paper does — placements are compared against each other, so
+	// they must see identical background conditions.
+	tr := trace.Synthetic(load, sim.NewRNG(cfg.Seed*1000003+uint64(load)), 8*cfg.Samples+64)
+
+	var stat sim.Stat
+	row := Fig1Row{Load: load, LoadOn: loadOn, TestOn: testOn}
+
+	// The test environment: a guest OS either native or inside a VM.
+	var testOS *guest.OS
+	startSampling := func() {
+		var sample func()
+		sample = func() {
+			if stat.N() >= cfg.Samples {
+				return
+			}
+			_, err := testOS.Run(guest.MicroTask(cfg.TaskSeconds), func(r guest.TaskResult) {
+				stat.Add(r.Elapsed().Seconds() / baseline)
+				sample()
+			})
+			if err != nil {
+				panic(err) // deterministic setup bug, not a runtime condition
+			}
+		}
+		sample()
+	}
+
+	// Apply the background load.
+	applyLoad := func(testVM *vmm.VM) error {
+		if load == trace.None {
+			// The paper still plots all four placements under "none";
+			// there is simply nothing to start.
+			return nil
+		}
+		switch loadOn {
+		case OnPhysical:
+			lp := hostos.NewLoadProcess(h, "bg-load", tr)
+			lp.Start()
+		case OnVM:
+			if testOn == OnVM {
+				// Load and test share the virtual machine.
+				pb := trace.NewPlayback(k, tr, testVM.Guest().SetBackgroundLoad)
+				pb.Start()
+				return nil
+			}
+			// The load gets its own VM next to the physical test task.
+			return fig1VM(k, h, "loadvm", func(vm *vmm.VM) {
+				pb := trace.NewPlayback(k, tr, vm.Guest().SetBackgroundLoad)
+				pb.Start()
+			})
+		}
+		return nil
+	}
+
+	switch testOn {
+	case OnPhysical:
+		testOS = guest.NewOS(guest.NewNativeCPU(h.Spawn("test")))
+		testOS.MarkBooted()
+		if err := applyLoad(nil); err != nil {
+			return row, err
+		}
+		startSampling()
+	case OnVM:
+		if err := fig1VM(k, h, "testvm", func(vm *vmm.VM) {
+			testOS = vm.Guest()
+			if err := applyLoad(vm); err != nil {
+				panic(err)
+			}
+			startSampling()
+		}); err != nil {
+			return row, err
+		}
+	}
+
+	// Generous horizon: heavy load can triple task times.
+	horizon := sim.DurationOf(float64(cfg.Samples)*cfg.TaskSeconds*8 + 300)
+	_ = k.RunUntil(sim.Time(horizon))
+	if stat.N() < cfg.Samples {
+		return row, fmt.Errorf("experiments: only %d/%d samples completed", stat.N(), cfg.Samples)
+	}
+	row.Mean, row.Std, row.Min, row.Max, row.N = stat.Mean(), stat.Stddev(), stat.Min(), stat.Max(), stat.N()
+	return row, nil
+}
+
+// Figure1Table renders the rows like the paper's figure (one bar each).
+func Figure1Table(rows []Fig1Row) *Table {
+	t := &Table{
+		Title:  "Figure 1: microbenchmark slowdown (mean +/- std over samples)",
+		Note:   "slowdown = elapsed / unloaded-physical elapsed",
+		Header: []string{"load", "load on", "test on", "mean", "std", "min", "max"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Load.String(), r.LoadOn.String(), r.TestOn.String(),
+			f3(r.Mean), f3(r.Std), f3(r.Min), f3(r.Max),
+		})
+	}
+	return t
+}

@@ -1,0 +1,47 @@
+package gis_test
+
+import (
+	"fmt"
+
+	"vmgrid/internal/gis"
+	"vmgrid/internal/sim"
+)
+
+// Applications discover resources with the URGIS-style query language:
+// selections, joins on an attribute, predicates, ordering, and bounded
+// results.
+func ExampleService_QueryString() {
+	k := sim.NewKernel(1)
+	info := gis.New(k)
+	_ = info.Register(gis.KindVMFuture, "farm-1", map[string]any{
+		gis.AttrSite: "nwu", gis.AttrSlots: int64(2), gis.AttrLoad: 0.8,
+	}, 0)
+	_ = info.Register(gis.KindVMFuture, "farm-2", map[string]any{
+		gis.AttrSite: "nwu", gis.AttrSlots: int64(4), gis.AttrLoad: 0.1,
+	}, 0)
+	_ = info.Register(gis.KindImageServer, "archive", map[string]any{
+		gis.AttrSite: "nwu", gis.AttrImage: "rh72",
+	}, 0)
+
+	rows, err := info.QueryString(
+		`select vm-future where slots >= 2 order by load limit 1`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("best future:", rows[0].Entries[0].Name)
+
+	joined, err := info.QueryString(
+		`select vm-future, image-server on site where image == "rh72"`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range joined {
+		fmt.Printf("%s can fetch from %s\n", r.Entries[0].Name, r.Entries[1].Name)
+	}
+	// Output:
+	// best future: farm-2
+	// farm-1 can fetch from archive
+	// farm-2 can fetch from archive
+}

@@ -1,0 +1,256 @@
+// Package gis is the grid information service (in the mold of Globus MDS
+// and the URGIS relational approach the paper extends): a registry of
+// typed, attribute-carrying, soft-state records that applications query
+// — including the paper's key addition, *VM futures*: advertisements by
+// hosts of what kinds and how many virtual machines they are willing to
+// instantiate.
+package gis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vmgrid/internal/sim"
+)
+
+// Kind classifies registry entries.
+type Kind string
+
+// The record kinds of the VM-grid architecture (Figure 3).
+const (
+	KindHost        Kind = "host"      // physical machines
+	KindVMFuture    Kind = "vm-future" // capability to instantiate VMs
+	KindVM          Kind = "vm"        // live VM instances
+	KindImageServer Kind = "image-server"
+	KindDataServer  Kind = "data-server"
+)
+
+// Entry is one registered record. Attrs values are strings, int64s, or
+// float64s.
+type Entry struct {
+	Kind    Kind
+	Name    string
+	Attrs   map[string]any
+	Expires sim.Time // zero means no expiry
+}
+
+// Int returns an integer attribute (0 if absent or mistyped).
+func (e Entry) Int(key string) int64 {
+	switch v := e.Attrs[key].(type) {
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	default:
+		return 0
+	}
+}
+
+// Float returns a float attribute (also accepting ints).
+func (e Entry) Float(key string) float64 {
+	switch v := e.Attrs[key].(type) {
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	case int:
+		return float64(v)
+	default:
+		return 0
+	}
+}
+
+// Str returns a string attribute ("" if absent).
+func (e Entry) Str(key string) string {
+	s, _ := e.Attrs[key].(string)
+	return s
+}
+
+// ErrNotFound is returned by Lookup for missing or expired entries.
+var ErrNotFound = errors.New("gis: not found")
+
+// Service is the registry. Entries are soft state: registrations carry a
+// TTL and vanish unless refreshed, so crashed providers age out.
+type Service struct {
+	k       *sim.Kernel
+	records map[string]Entry
+}
+
+// New creates an empty information service.
+func New(k *sim.Kernel) *Service {
+	return &Service{k: k, records: make(map[string]Entry)}
+}
+
+func key(kind Kind, name string) string { return string(kind) + "/" + name }
+
+// Register adds or refreshes a record. ttl ≤ 0 means no expiry. The
+// attribute map is copied.
+func (s *Service) Register(kind Kind, name string, attrs map[string]any, ttl sim.Duration) error {
+	if name == "" {
+		return fmt.Errorf("gis: register %v with empty name", kind)
+	}
+	cp := make(map[string]any, len(attrs))
+	for k, v := range attrs {
+		cp[k] = v
+	}
+	e := Entry{Kind: kind, Name: name, Attrs: cp}
+	if ttl > 0 {
+		e.Expires = s.k.Now().Add(ttl)
+	}
+	s.records[key(kind, name)] = e
+	return nil
+}
+
+// Deregister removes a record (idempotent).
+func (s *Service) Deregister(kind Kind, name string) {
+	delete(s.records, key(kind, name))
+}
+
+func (s *Service) live(e Entry) bool {
+	return e.Expires == 0 || e.Expires >= s.k.Now()
+}
+
+// Lookup fetches one record.
+func (s *Service) Lookup(kind Kind, name string) (Entry, error) {
+	e, ok := s.records[key(kind, name)]
+	if !ok || !s.live(e) {
+		return Entry{}, fmt.Errorf("%w: %v %q", ErrNotFound, kind, name)
+	}
+	return e, nil
+}
+
+// Select returns the live records of a kind matching pred (nil matches
+// all), sorted by name for determinism.
+func (s *Service) Select(kind Kind, pred func(Entry) bool) []Entry {
+	var out []Entry
+	for _, e := range s.records {
+		if e.Kind != kind || !s.live(e) {
+			continue
+		}
+		if pred == nil || pred(e) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SelectBounded is Select returning at most limit results — the paper's
+// model of queries that "are non-deterministic and return partial
+// results in a bounded amount of time". (In the deterministic simulation
+// the subset is the name-ordered prefix.)
+func (s *Service) SelectBounded(kind Kind, pred func(Entry) bool, limit int) []Entry {
+	out := s.Select(kind, pred)
+	if limit >= 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Join returns pairs (a, b) of live records with a of kindA, b of kindB,
+// and on(a, b) true — the relational query with joins the paper argues
+// resource discovery needs (e.g. "VM futures on hosts whose image server
+// is in the same site").
+func (s *Service) Join(kindA, kindB Kind, on func(a, b Entry) bool) [][2]Entry {
+	as := s.Select(kindA, nil)
+	bs := s.Select(kindB, nil)
+	var out [][2]Entry
+	for _, a := range as {
+		for _, b := range bs {
+			if on == nil || on(a, b) {
+				out = append(out, [2]Entry{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// Expire removes expired entries eagerly (they are also filtered lazily
+// on read). Returns how many were dropped.
+func (s *Service) Expire() int {
+	n := 0
+	for k, e := range s.records {
+		if !s.live(e) {
+			delete(s.records, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of live records.
+func (s *Service) Len() int {
+	n := 0
+	for _, e := range s.records {
+		if s.live(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// VM-future helpers: the attribute vocabulary used by vmgrid hosts.
+const (
+	// AttrMemBytes is the largest guest memory a future offers.
+	AttrMemBytes = "mem_bytes"
+	// AttrDiskBytes is the largest virtual disk a future offers.
+	AttrDiskBytes = "disk_bytes"
+	// AttrSlots is how many more VMs the host will instantiate.
+	AttrSlots = "slots"
+	// AttrSpeed is the host's CPU speed relative to the reference.
+	AttrSpeed = "speed"
+	// AttrSite is the administrative domain.
+	AttrSite = "site"
+	// AttrOS is an image's installed guest OS.
+	AttrOS = "os"
+	// AttrImage names an image catalogued on an image server.
+	AttrImage = "image"
+	// AttrWarm marks an image carrying a post-boot memory snapshot.
+	AttrWarm = "warm"
+	// AttrAddr is a live VM's virtual network address.
+	AttrAddr = "addr"
+	// AttrHost is the physical machine carrying a VM.
+	AttrHost = "host"
+	// AttrLoad is a host's most recent load measurement.
+	AttrLoad = "load"
+)
+
+// FutureQuery describes what a user needs from a VM future.
+type FutureQuery struct {
+	MinMemBytes  int64
+	MinDiskBytes int64
+	MinSpeed     float64
+	Site         string // "" = any
+}
+
+// FindFutures returns VM futures satisfying q, best (fastest, least
+// loaded) first.
+func (s *Service) FindFutures(q FutureQuery) []Entry {
+	out := s.Select(KindVMFuture, func(e Entry) bool {
+		if e.Int(AttrSlots) <= 0 {
+			return false
+		}
+		if e.Int(AttrMemBytes) < q.MinMemBytes {
+			return false
+		}
+		if e.Int(AttrDiskBytes) < q.MinDiskBytes {
+			return false
+		}
+		if e.Float(AttrSpeed) < q.MinSpeed {
+			return false
+		}
+		if q.Site != "" && e.Str(AttrSite) != q.Site {
+			return false
+		}
+		return true
+	})
+	sort.SliceStable(out, func(i, j int) bool {
+		li, lj := out[i].Float(AttrLoad), out[j].Float(AttrLoad)
+		if li != lj {
+			return li < lj
+		}
+		return out[i].Float(AttrSpeed) > out[j].Float(AttrSpeed)
+	})
+	return out
+}

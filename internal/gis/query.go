@@ -1,0 +1,489 @@
+package gis
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the textual query language of the information
+// service — the "unified relational approach" (URGIS) the paper extends
+// with virtual machines. Applications discover resources by posing
+// queries like:
+//
+//	select vm-future where mem_bytes >= 268435456 and site == "nwu"
+//	       order by load limit 3
+//
+//	select vm-future, image-server on site where image == "rh72"
+//
+// The second form is a join: pairs of records of the two kinds that
+// agree on the join attribute, filtered by the predicate. Results are
+// deterministic (name-ordered before limits), matching the bounded
+// partial-result semantics described in the paper.
+
+// Query is a parsed query.
+type Query struct {
+	// Kinds has one entry for a select, two for a join.
+	Kinds []Kind
+	// JoinOn is the attribute both sides must agree on (joins only).
+	JoinOn string
+	// Where is the root predicate (nil = match all).
+	Where *Cond
+	// OrderBy is an attribute to sort ascending by ("" = by name).
+	OrderBy string
+	// Limit bounds the result count (0 = unlimited).
+	Limit int
+}
+
+// Cond is a predicate tree: either a comparison leaf or a conjunction /
+// disjunction of children.
+type Cond struct {
+	// Leaf comparison.
+	Attr string
+	Op   string // "==", "!=", ">=", "<=", ">", "<"
+	// Value is a string or float64 constant.
+	Value any
+
+	// Internal node: And/Or hold children ("and" binds tighter).
+	And []*Cond
+	Or  []*Cond
+}
+
+// Row is one query result: a single entry, or a pair for joins.
+type Row struct {
+	Entries []Entry
+}
+
+// ParseQuery parses the query language. The grammar:
+//
+//	query  := "select" kinds [join] ["where" expr] ["order" "by" attr] ["limit" int]
+//	kinds  := kind | kind "," kind
+//	join   := "on" attr
+//	expr   := term {"or" term}
+//	term   := factor {"and" factor}
+//	factor := attr op value | "(" expr ")"
+//	value  := number | quoted string | bareword
+func ParseQuery(src string) (Query, error) {
+	toks, err := lexQuery(src)
+	if err != nil {
+		return Query{}, err
+	}
+	p := &queryParser{toks: toks}
+	q, err := p.parse()
+	if err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// Run executes a parsed query against the service.
+func (s *Service) Run(q Query) ([]Row, error) {
+	match := func(entries []Entry) bool {
+		if q.Where == nil {
+			return true
+		}
+		return q.Where.eval(entries)
+	}
+
+	var rows []Row
+	switch len(q.Kinds) {
+	case 1:
+		for _, e := range s.Select(q.Kinds[0], nil) {
+			if match([]Entry{e}) {
+				rows = append(rows, Row{Entries: []Entry{e}})
+			}
+		}
+	case 2:
+		if q.JoinOn == "" {
+			return nil, fmt.Errorf("gis: two-kind query without an 'on' attribute")
+		}
+		for _, pair := range s.Join(q.Kinds[0], q.Kinds[1], func(a, b Entry) bool {
+			return attrEqual(a.Attrs[q.JoinOn], b.Attrs[q.JoinOn])
+		}) {
+			entries := []Entry{pair[0], pair[1]}
+			if match(entries) {
+				rows = append(rows, Row{Entries: entries})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("gis: query selects %d kinds", len(q.Kinds))
+	}
+
+	if q.OrderBy != "" {
+		sort.SliceStable(rows, func(i, j int) bool {
+			return rowKey(rows[i], q.OrderBy) < rowKey(rows[j], q.OrderBy)
+		})
+	}
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	return rows, nil
+}
+
+// QueryString parses and runs a query in one step.
+func (s *Service) QueryString(src string) ([]Row, error) {
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(q)
+}
+
+func rowKey(r Row, attr string) float64 {
+	for _, e := range r.Entries {
+		if _, ok := e.Attrs[attr]; ok {
+			return e.Float(attr)
+		}
+	}
+	return 0
+}
+
+func attrEqual(a, b any) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return fmt.Sprint(a) == fmt.Sprint(b)
+}
+
+// eval evaluates the predicate against the row's entries: an attribute
+// reference binds to the first entry carrying it.
+func (c *Cond) eval(entries []Entry) bool {
+	if len(c.Or) > 0 {
+		for _, child := range c.Or {
+			if child.eval(entries) {
+				return true
+			}
+		}
+		return false
+	}
+	if len(c.And) > 0 {
+		for _, child := range c.And {
+			if !child.eval(entries) {
+				return false
+			}
+		}
+		return true
+	}
+	var val any
+	found := false
+	for _, e := range entries {
+		if v, ok := e.Attrs[c.Attr]; ok {
+			val = v
+			found = true
+			break
+		}
+		if c.Attr == "name" {
+			val = e.Name
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	switch want := c.Value.(type) {
+	case string:
+		got := fmt.Sprint(val)
+		switch c.Op {
+		case "==":
+			return got == want
+		case "!=":
+			return got != want
+		default:
+			return false // ordered comparison on strings is not supported
+		}
+	case float64:
+		got, ok := toFloat(val)
+		if !ok {
+			return false
+		}
+		switch c.Op {
+		case "==":
+			return got == want
+		case "!=":
+			return got != want
+		case ">=":
+			return got >= want
+		case "<=":
+			return got <= want
+		case ">":
+			return got > want
+		case "<":
+			return got < want
+		}
+	}
+	return false
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// --- lexer ---
+
+type qtok struct {
+	kind string // word, string, number, punct
+	text string
+	num  float64
+}
+
+func lexQuery(src string) ([]qtok, error) {
+	var toks []qtok
+	i := 0
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			i++
+		case ch == '"' || ch == '\'':
+			quote := ch
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("gis: unterminated string at %d", i)
+			}
+			toks = append(toks, qtok{kind: "string", text: src[i+1 : j]})
+			i = j + 1
+		case ch == '(' || ch == ')' || ch == ',':
+			toks = append(toks, qtok{kind: "punct", text: string(ch)})
+			i++
+		case strings.ContainsRune("=!<>", rune(ch)):
+			j := i + 1
+			if j < len(src) && src[j] == '=' {
+				j++
+			}
+			toks = append(toks, qtok{kind: "punct", text: src[i:j]})
+			i = j
+		case ch >= '0' && ch <= '9' || ch == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' || src[j] == '+' || src[j] == '-') {
+				// Stop '-'/'+' unless preceded by an exponent marker.
+				if (src[j] == '-' || src[j] == '+') && src[j-1] != 'e' {
+					break
+				}
+				j++
+			}
+			n, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("gis: bad number %q", src[i:j])
+			}
+			toks = append(toks, qtok{kind: "number", text: src[i:j], num: n})
+			i = j
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\n\r()=!<>,\"'", rune(src[j])) {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("gis: unexpected character %q at %d", ch, i)
+			}
+			toks = append(toks, qtok{kind: "word", text: src[i:j]})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+// --- parser ---
+
+type queryParser struct {
+	toks []qtok
+	pos  int
+}
+
+func (p *queryParser) peek() (qtok, bool) {
+	if p.pos >= len(p.toks) {
+		return qtok{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *queryParser) next() (qtok, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *queryParser) expectWord(word string) error {
+	t, ok := p.next()
+	if !ok || t.kind != "word" || !strings.EqualFold(t.text, word) {
+		return fmt.Errorf("gis: expected %q, got %q", word, t.text)
+	}
+	return nil
+}
+
+func (p *queryParser) parse() (Query, error) {
+	var q Query
+	if err := p.expectWord("select"); err != nil {
+		return q, err
+	}
+	kind, ok := p.next()
+	if !ok || kind.kind != "word" {
+		return q, fmt.Errorf("gis: expected a record kind after select")
+	}
+	q.Kinds = append(q.Kinds, Kind(kind.text))
+	if t, ok := p.peek(); ok && t.text == "," {
+		p.pos++
+		second, ok := p.next()
+		if !ok || second.kind != "word" {
+			return q, fmt.Errorf("gis: expected a second kind after ','")
+		}
+		q.Kinds = append(q.Kinds, Kind(second.text))
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch {
+		case t.kind == "word" && strings.EqualFold(t.text, "on"):
+			p.pos++
+			attr, ok := p.next()
+			if !ok || attr.kind != "word" {
+				return q, fmt.Errorf("gis: expected an attribute after 'on'")
+			}
+			q.JoinOn = attr.text
+		case t.kind == "word" && strings.EqualFold(t.text, "where"):
+			p.pos++
+			cond, err := p.parseOr()
+			if err != nil {
+				return q, err
+			}
+			q.Where = cond
+		case t.kind == "word" && strings.EqualFold(t.text, "order"):
+			p.pos++
+			if err := p.expectWord("by"); err != nil {
+				return q, err
+			}
+			attr, ok := p.next()
+			if !ok || attr.kind != "word" {
+				return q, fmt.Errorf("gis: expected an attribute after 'order by'")
+			}
+			q.OrderBy = attr.text
+		case t.kind == "word" && strings.EqualFold(t.text, "limit"):
+			p.pos++
+			n, ok := p.next()
+			if !ok || n.kind != "number" || n.num < 0 || n.num != float64(int(n.num)) {
+				return q, fmt.Errorf("gis: expected a non-negative integer after 'limit'")
+			}
+			q.Limit = int(n.num)
+		default:
+			return q, fmt.Errorf("gis: unexpected token %q", t.text)
+		}
+	}
+	if len(q.Kinds) == 2 && q.JoinOn == "" {
+		return q, fmt.Errorf("gis: join query requires 'on <attr>'")
+	}
+	return q, nil
+}
+
+func (p *queryParser) parseOr() (*Cond, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Cond{first}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != "word" || !strings.EqualFold(t.text, "or") {
+			break
+		}
+		p.pos++
+		next, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	if len(children) == 1 {
+		return first, nil
+	}
+	return &Cond{Or: children}, nil
+}
+
+func (p *queryParser) parseAnd() (*Cond, error) {
+	first, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Cond{first}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != "word" || !strings.EqualFold(t.text, "and") {
+			break
+		}
+		p.pos++
+		next, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	if len(children) == 1 {
+		return first, nil
+	}
+	return &Cond{And: children}, nil
+}
+
+func (p *queryParser) parseFactor() (*Cond, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("gis: expected a condition")
+	}
+	if t.text == "(" {
+		p.pos++
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		closing, ok := p.next()
+		if !ok || closing.text != ")" {
+			return nil, fmt.Errorf("gis: missing ')'")
+		}
+		return inner, nil
+	}
+	attr, ok := p.next()
+	if !ok || attr.kind != "word" {
+		return nil, fmt.Errorf("gis: expected an attribute, got %q", attr.text)
+	}
+	op, ok := p.next()
+	if !ok || op.kind != "punct" || !isCompareOp(op.text) {
+		return nil, fmt.Errorf("gis: expected a comparison after %q", attr.text)
+	}
+	val, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("gis: expected a value after %q %s", attr.text, op.text)
+	}
+	cond := &Cond{Attr: attr.text, Op: op.text}
+	switch val.kind {
+	case "number":
+		cond.Value = val.num
+	case "string", "word":
+		cond.Value = val.text
+	default:
+		return nil, fmt.Errorf("gis: bad value %q", val.text)
+	}
+	return cond, nil
+}
+
+func isCompareOp(s string) bool {
+	switch s {
+	case "==", "!=", ">=", "<=", ">", "<":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,251 @@
+package gis
+
+import (
+	"strings"
+	"testing"
+
+	"vmgrid/internal/sim"
+)
+
+func queryFixture(t *testing.T) *Service {
+	t.Helper()
+	k := sim.NewKernel(1)
+	s := New(k)
+	reg := func(kind Kind, name string, attrs map[string]any) {
+		t.Helper()
+		if err := s.Register(kind, name, attrs, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg(KindVMFuture, "f1", map[string]any{
+		AttrSite: "nwu", AttrSlots: int64(2), AttrMemBytes: int64(256 << 20),
+		AttrSpeed: 1.0, AttrLoad: 0.5,
+	})
+	reg(KindVMFuture, "f2", map[string]any{
+		AttrSite: "nwu", AttrSlots: int64(1), AttrMemBytes: int64(2 << 30),
+		AttrSpeed: 1.2, AttrLoad: 0.1,
+	})
+	reg(KindVMFuture, "f3", map[string]any{
+		AttrSite: "ufl", AttrSlots: int64(4), AttrMemBytes: int64(1 << 30),
+		AttrSpeed: 0.8, AttrLoad: 0.9,
+	})
+	reg(KindImageServer, "i1", map[string]any{AttrSite: "nwu", AttrImage: "rh72"})
+	reg(KindImageServer, "i2", map[string]any{AttrSite: "ufl", AttrImage: "rh71"})
+	return s
+}
+
+func TestQuerySelectAll(t *testing.T) {
+	s := queryFixture(t)
+	rows, err := s.QueryString("select vm-future")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Default order: by name.
+	if rows[0].Entries[0].Name != "f1" || rows[2].Entries[0].Name != "f3" {
+		t.Errorf("unexpected order: %v, %v", rows[0].Entries[0].Name, rows[2].Entries[0].Name)
+	}
+}
+
+func TestQueryWhereString(t *testing.T) {
+	s := queryFixture(t)
+	rows, err := s.QueryString(`select vm-future where site == "nwu"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	rows, err = s.QueryString(`select vm-future where site != "nwu"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Entries[0].Name != "f3" {
+		t.Fatalf("!= rows = %v", rows)
+	}
+}
+
+func TestQueryWhereNumeric(t *testing.T) {
+	s := queryFixture(t)
+	rows, err := s.QueryString("select vm-future where mem_bytes >= 1073741824")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want f2 and f3", len(rows))
+	}
+	rows, err = s.QueryString("select vm-future where speed > 1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Entries[0].Name != "f2" {
+		t.Fatalf("speed query = %v", rows)
+	}
+}
+
+func TestQueryAndOrParens(t *testing.T) {
+	s := queryFixture(t)
+	rows, err := s.QueryString(`select vm-future where site == "nwu" and slots >= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Entries[0].Name != "f1" {
+		t.Fatalf("and query = %v", rows)
+	}
+	rows, err = s.QueryString(`select vm-future where site == "ufl" or speed > 1.1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("or query = %d rows", len(rows))
+	}
+	// Parentheses change grouping: (ufl or nwu) and slots >= 4 = only f3.
+	rows, err = s.QueryString(`select vm-future where (site == "ufl" or site == "nwu") and slots >= 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Entries[0].Name != "f3" {
+		t.Fatalf("paren query = %v", rows)
+	}
+}
+
+func TestQueryOrderAndLimit(t *testing.T) {
+	s := queryFixture(t)
+	rows, err := s.QueryString("select vm-future order by load limit 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Entries[0].Name != "f2" || rows[1].Entries[0].Name != "f1" {
+		t.Errorf("order by load gave %s, %s", rows[0].Entries[0].Name, rows[1].Entries[0].Name)
+	}
+}
+
+func TestQueryJoin(t *testing.T) {
+	s := queryFixture(t)
+	// Futures co-located with an image server holding rh72.
+	rows, err := s.QueryString(`select vm-future, image-server on site where image == "rh72"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("join rows = %d, want f1+i1 and f2+i1", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Entries) != 2 {
+			t.Fatalf("join row has %d entries", len(r.Entries))
+		}
+		if r.Entries[0].Str(AttrSite) != r.Entries[1].Str(AttrSite) {
+			t.Error("join attribute mismatch")
+		}
+		if r.Entries[1].Name != "i1" {
+			t.Errorf("join matched wrong server %s", r.Entries[1].Name)
+		}
+	}
+}
+
+func TestQueryJoinPredicateSpansBothSides(t *testing.T) {
+	s := queryFixture(t)
+	rows, err := s.QueryString(
+		`select vm-future, image-server on site where image == "rh71" and slots >= 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Entries[0].Name != "f3" {
+		t.Fatalf("cross-side predicate = %v", rows)
+	}
+}
+
+func TestQueryNameAttribute(t *testing.T) {
+	s := queryFixture(t)
+	rows, err := s.QueryString(`select vm-future where name == "f2"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Entries[0].Name != "f2" {
+		t.Fatalf("name query = %v", rows)
+	}
+}
+
+func TestQueryMissingAttributeNeverMatches(t *testing.T) {
+	s := queryFixture(t)
+	rows, err := s.QueryString("select vm-future where nonexistent >= 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestQueryParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"frobnicate vm-future",
+		"select",
+		"select vm-future where",
+		"select vm-future where site ==",
+		"select vm-future where (site == 'x'",
+		"select vm-future order load",
+		"select vm-future limit -3",
+		"select vm-future limit 1.5",
+		"select a, b where x == 1",            // join without 'on'
+		`select vm-future where site = "nwu"`, // single '=' parses as op? must fail
+		`select vm-future where site ~ "nwu"`,
+		`select vm-future where site == "unterminated`,
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery accepted %q", src)
+		}
+	}
+}
+
+func TestQueryStringComparisonOrderedOpsRejectedAtEval(t *testing.T) {
+	s := queryFixture(t)
+	rows, err := s.QueryString(`select vm-future where site > "a"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Error("ordered comparison on strings matched rows")
+	}
+}
+
+func TestQueryCaseInsensitiveKeywords(t *testing.T) {
+	s := queryFixture(t)
+	rows, err := s.QueryString(`SELECT vm-future WHERE site == "nwu" ORDER BY load LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestQueryExpiredRecordsExcluded(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := New(k)
+	if err := s.Register(KindVM, "v1", nil, 5*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	_ = k.RunUntil(sim.Time(10 * sim.Second))
+	rows, err := s.QueryString("select vm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Error("expired record matched")
+	}
+}
+
+func TestQuerySingleEqualsIsError(t *testing.T) {
+	if _, err := ParseQuery(`select x where a = 1`); err == nil ||
+		!strings.Contains(err.Error(), "comparison") {
+		t.Errorf("single = error: %v", err)
+	}
+}

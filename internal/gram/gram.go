@@ -1,0 +1,228 @@
+// Package gram is the resource-management layer of the grid middleware
+// (after Globus GRAM): per-site gatekeepers that authenticate and
+// dispatch jobs, a globusrun-style client that submits over the network
+// and waits, and explicit file staging (GASS/GridFTP-style) as the
+// alternative to the virtual file system's on-demand transfers.
+//
+// The paper's Table 2 measures VM startup "using globusrun within a
+// LAN"; the control-path costs here (authentication, job-manager
+// startup, round trips) are what sits between the raw device times and
+// the measured wall clock.
+package gram
+
+import (
+	"errors"
+	"fmt"
+
+	"vmgrid/internal/hostos"
+	"vmgrid/internal/netsim"
+	"vmgrid/internal/storage"
+)
+
+// Control-path calibration (Globus 2.0 era, GSI authentication).
+const (
+	// AuthWork is the gatekeeper's CPU work to authenticate a request
+	// and fork a job manager (reference seconds).
+	AuthWork = 0.9
+	// ClientSetupWork is the client-side proxy/handshake work.
+	ClientSetupWork = 0.4
+	// ControlMsgBytes sizes the control-channel messages.
+	ControlMsgBytes = 4 << 10
+)
+
+// Errors callers match with errors.Is.
+var (
+	ErrNoGatekeeper = errors.New("gram: no gatekeeper at node")
+	ErrDenied       = errors.New("gram: authorization denied")
+)
+
+// Job is the unit of dispatch: middleware-visible work that eventually
+// calls done exactly once.
+type Job struct {
+	// Name labels the job (e.g. "start-vm:rh72").
+	Name string
+	// User is the grid identity submitting the job.
+	User string
+	// Run performs the work; it must invoke done(err) exactly once.
+	Run func(done func(err error))
+}
+
+// Gatekeeper accepts jobs at one host, the way a Globus gatekeeper plus
+// job manager would.
+type Gatekeeper struct {
+	host *hostos.Host
+	// authorized is the gridmap: which users may submit (empty = all).
+	authorized map[string]bool
+	accepted   uint64
+}
+
+// NewGatekeeper starts a gatekeeper on host.
+func NewGatekeeper(host *hostos.Host) *Gatekeeper {
+	return &Gatekeeper{host: host, authorized: make(map[string]bool)}
+}
+
+// Host returns the gatekeeper's machine.
+func (g *Gatekeeper) Host() *hostos.Host { return g.host }
+
+// Accepted returns the number of jobs accepted so far.
+func (g *Gatekeeper) Accepted() uint64 { return g.accepted }
+
+// Authorize adds a user to the gridmap. With no authorized users at all,
+// the gatekeeper is open (convenient for single-tenant tests).
+func (g *Gatekeeper) Authorize(user string) { g.authorized[user] = true }
+
+// Revoke removes a user.
+func (g *Gatekeeper) Revoke(user string) { delete(g.authorized, user) }
+
+// Submit runs a job locally: authenticate (CPU work on the host — a
+// loaded machine authenticates slowly, part of Table 2's variance), then
+// execute. done receives the job's error.
+func (g *Gatekeeper) Submit(job Job, done func(error)) error {
+	if job.Run == nil {
+		return fmt.Errorf("gram: job %q with no body", job.Name)
+	}
+	if len(g.authorized) > 0 && !g.authorized[job.User] {
+		return fmt.Errorf("%w: user %q", ErrDenied, job.User)
+	}
+	g.accepted++
+	proc := g.host.Spawn("gatekeeper:" + job.Name)
+	proc.RunWork(AuthWork, func() {
+		proc.Exit()
+		job.Run(func(err error) {
+			if done != nil {
+				done(err)
+			}
+		})
+	})
+	return nil
+}
+
+// Registry maps network nodes to gatekeepers (the service lookup a real
+// deployment does via well-known ports).
+type Registry struct {
+	gatekeepers map[string]*Gatekeeper
+}
+
+// NewRegistry creates an empty gatekeeper registry.
+func NewRegistry() *Registry {
+	return &Registry{gatekeepers: make(map[string]*Gatekeeper)}
+}
+
+// Add registers a gatekeeper at a network node name.
+func (r *Registry) Add(node string, g *Gatekeeper) { r.gatekeepers[node] = g }
+
+// At returns the gatekeeper at node, or nil.
+func (r *Registry) At(node string) *Gatekeeper { return r.gatekeepers[node] }
+
+// Client submits jobs across the network — the globusrun command line.
+type Client struct {
+	net      *netsim.Network
+	registry *Registry
+	node     string
+	host     *hostos.Host
+}
+
+// NewClient creates a submitting client at clientNode, running its
+// local work on clientHost.
+func NewClient(net *netsim.Network, registry *Registry, clientNode string, clientHost *hostos.Host) (*Client, error) {
+	if net.Node(clientNode) == nil {
+		return nil, fmt.Errorf("gram: client node %q not attached", clientNode)
+	}
+	return &Client{net: net, registry: registry, node: clientNode, host: clientHost}, nil
+}
+
+// Submit sends a job to the gatekeeper at serverNode and invokes done
+// with the job's result once the completion notification returns — the
+// full globusrun wall-clock envelope.
+func (c *Client) Submit(serverNode string, job Job, done func(error)) error {
+	gk := c.registry.At(serverNode)
+	if gk == nil {
+		return fmt.Errorf("%w: %s", ErrNoGatekeeper, serverNode)
+	}
+	fail := func(err error) {
+		if done != nil {
+			done(err)
+		}
+	}
+	// Client-side setup (proxy init), then the request round trip. Each
+	// submission is its own globusrun process, as on a real front end.
+	proc := c.host.Spawn("globusrun:" + job.Name)
+	proc.RunWork(ClientSetupWork, func() {
+		proc.Exit()
+		err := c.net.Send(c.node, serverNode, ControlMsgBytes, nil, func(any) {
+			if err := gk.Submit(job, func(jobErr error) {
+				// Completion notification travels back.
+				if sendErr := c.net.Send(serverNode, c.node, ControlMsgBytes, nil, func(any) {
+					fail(jobErr)
+				}); sendErr != nil {
+					fail(sendErr)
+				}
+			}); err != nil {
+				// Denied: the refusal still crosses the network.
+				if sendErr := c.net.Send(serverNode, c.node, ControlMsgBytes, nil, func(any) {
+					fail(err)
+				}); sendErr != nil {
+					fail(sendErr)
+				}
+			}
+		})
+		if err != nil {
+			fail(err)
+		}
+	})
+	return nil
+}
+
+// stageChunk is the transfer unit of explicit staging.
+const stageChunk int64 = 1 << 20
+
+// Stage copies a whole file between stores across the network — the
+// GASS/GridFTP file-staging model the paper contrasts with on-demand
+// virtual file systems: the entire file moves before work starts,
+// whether or not it is all used.
+func Stage(net *netsim.Network, srcNode string, src *storage.Store, file string,
+	dstNode string, dst *storage.Store, asName string, done func(error)) error {
+	size, err := src.Size(file)
+	if err != nil {
+		return fmt.Errorf("gram: stage %q: %w", file, err)
+	}
+	if dst.Has(asName) {
+		return fmt.Errorf("gram: stage: %w: %s", storage.ErrExists, asName)
+	}
+	if err := dst.Create(asName, 0); err != nil {
+		return err
+	}
+	srcFile, err := src.Open(file)
+	if err != nil {
+		return err
+	}
+	dstFile, err := dst.Open(asName)
+	if err != nil {
+		return err
+	}
+	var step func(off int64)
+	step = func(off int64) {
+		if off >= size {
+			if done != nil {
+				done(nil)
+			}
+			return
+		}
+		n := stageChunk
+		if off+n > size {
+			n = size - off
+		}
+		srcFile.ReadSequential(off, n, func() {
+			sendErr := net.Send(srcNode, dstNode, n, nil, func(any) {
+				dstFile.Write(off, n, func() {
+					step(off + n)
+				})
+			})
+			if sendErr != nil && done != nil {
+				done(sendErr)
+			}
+		})
+	}
+	step(0)
+	return nil
+}

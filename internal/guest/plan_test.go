@@ -1,0 +1,122 @@
+package guest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vmgrid/internal/hostos"
+	"vmgrid/internal/hw"
+	"vmgrid/internal/sim"
+)
+
+// Property: the merged I/O plan is sorted by work threshold, covers the
+// requested operation counts, routes each op to the right mount, and
+// conserves bytes.
+func TestIOPlanProperties(t *testing.T) {
+	prop := func(readsRaw, rootRaw uint8, cpuRaw uint8) bool {
+		w := Workload{
+			Name:       "prop",
+			CPUSeconds: float64(cpuRaw%100) + 1,
+			Reads:      int(readsRaw % 64),
+			ReadBytes:  int64(readsRaw%64) * 8192,
+			Mount:      "data",
+			RootOps:    int(rootRaw % 32),
+			RootBytes:  int64(rootRaw%32) * 4096,
+		}
+		plan := buildIOPlan(w)
+		if len(plan) != w.Reads+w.RootOps {
+			return false
+		}
+		var dataOps, rootOps int
+		var dataBytes, rootBytes int64
+		last := -1.0
+		for _, op := range plan {
+			if op.threshold < last {
+				return false // not sorted
+			}
+			last = op.threshold
+			if op.threshold <= 0 || op.threshold >= w.CPUSeconds {
+				return false // I/O points strictly inside the work
+			}
+			switch op.mount {
+			case "data":
+				dataOps++
+				dataBytes += op.bytes
+			case "root":
+				rootOps++
+				rootBytes += op.bytes
+			default:
+				return false
+			}
+		}
+		if dataOps != w.Reads || rootOps != w.RootOps {
+			return false
+		}
+		// Byte conservation up to integer division remainder.
+		if w.Reads > 0 && (dataBytes > w.ReadBytes || dataBytes < w.ReadBytes-int64(w.Reads)) {
+			return false
+		}
+		if w.RootOps > 0 && (rootBytes > w.RootBytes || rootBytes < w.RootBytes-int64(w.RootOps)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIOPlanEmptyForPureCPU(t *testing.T) {
+	if plan := buildIOPlan(MicroTask(5)); len(plan) != 0 {
+		t.Errorf("pure CPU workload has %d planned ops", len(plan))
+	}
+}
+
+func TestIOPlanDefaultMountIsRoot(t *testing.T) {
+	w := Workload{Name: "x", CPUSeconds: 10, Reads: 4, ReadBytes: 4096}
+	for _, op := range buildIOPlan(w) {
+		if op.mount != "root" {
+			t.Fatalf("unmounted reads routed to %q", op.mount)
+		}
+	}
+}
+
+// Property: a task's elapsed time on an otherwise idle native machine is
+// at least its CPU time plus per-event native costs and never wildly
+// more (no lost wakeups, no double charging).
+func TestNativeElapsedBounds(t *testing.T) {
+	prop := func(cpuRaw, privRaw uint8) bool {
+		cpu := float64(cpuRaw%30) + 1
+		priv := float64(privRaw) * 20
+		f := newPropFixture()
+		var elapsed float64
+		w := Workload{Name: "b", CPUSeconds: cpu, PrivPerSec: priv}
+		if _, err := f.os.Run(w, func(r TaskResult) { elapsed = r.Elapsed().Seconds() }); err != nil {
+			return false
+		}
+		f.k.Run()
+		ideal := cpu * (1 + priv*NativeCost.Seconds())
+		return elapsed >= ideal-1e-6 && elapsed < ideal*1.001+1e-3
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// newPropFixture is a minimal native rig for property tests (no testing.T
+// so it can live inside quick.Check closures).
+func newPropFixture() *propFixture {
+	k := sim.NewKernel(99)
+	h, err := hostos.New(k, hw.ReferenceMachine("p"))
+	if err != nil {
+		panic(err)
+	}
+	os := NewOS(NewNativeCPU(h.Spawn("t")))
+	os.MarkBooted()
+	return &propFixture{k: k, os: os}
+}
+
+type propFixture struct {
+	k  *sim.Kernel
+	os *OS
+}

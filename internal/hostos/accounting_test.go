@@ -1,0 +1,109 @@
+package hostos
+
+import (
+	"math"
+	"testing"
+
+	"vmgrid/internal/hw"
+	"vmgrid/internal/sim"
+)
+
+func TestCPUSecondsAccountsWork(t *testing.T) {
+	k := sim.NewKernel(1)
+	h, err := New(k, hw.ReferenceMachine("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := h.Spawn("job")
+	p.RunWork(10, nil)
+	k.Run()
+	if got := p.CPUSeconds(); math.Abs(got-10) > 1e-6 {
+		t.Errorf("CPUSeconds = %v, want 10", got)
+	}
+}
+
+func TestCPUSecondsUnderContention(t *testing.T) {
+	// Two CPU-bound processes for 20 s: each consumes ~10 s (minus
+	// context-switch overhead); together they account for ~the whole
+	// machine.
+	k := sim.NewKernel(1)
+	h, err := New(k, hw.ReferenceMachine("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.Spawn("a")
+	b := h.Spawn("b")
+	a.SetDemand(1)
+	b.SetDemand(1)
+	_ = k.RunUntil(sim.Time(20 * sim.Second))
+	ca, cb := a.CPUSeconds(), b.CPUSeconds()
+	if math.Abs(ca-cb) > 0.01 {
+		t.Errorf("unequal shares: %v vs %v", ca, cb)
+	}
+	total := ca + cb
+	if total < 19.5 || total > 20.0 {
+		t.Errorf("total accounted = %v, want ≈ 20 (machine-seconds)", total)
+	}
+}
+
+func TestCPUSecondsExcludesStoppedTime(t *testing.T) {
+	k := sim.NewKernel(1)
+	h, err := New(k, hw.ReferenceMachine("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := h.Spawn("p")
+	p.SetDemand(1)
+	_ = k.RunUntil(sim.Time(5 * sim.Second))
+	p.Stop()
+	_ = k.RunUntil(sim.Time(60 * sim.Second))
+	if got := p.CPUSeconds(); math.Abs(got-5) > 1e-6 {
+		t.Errorf("CPUSeconds = %v, want 5 (stopped time is free)", got)
+	}
+	p.Cont()
+	_ = k.RunUntil(sim.Time(62 * sim.Second))
+	if got := p.CPUSeconds(); math.Abs(got-7) > 1e-6 {
+		t.Errorf("CPUSeconds = %v after resume, want 7", got)
+	}
+}
+
+func TestCPUSecondsFrozenAfterExit(t *testing.T) {
+	k := sim.NewKernel(1)
+	h, err := New(k, hw.ReferenceMachine("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := h.Spawn("p")
+	p.SetDemand(1)
+	_ = k.RunUntil(sim.Time(3 * sim.Second))
+	p.Exit()
+	_ = k.RunUntil(sim.Time(30 * sim.Second))
+	if got := p.CPUSeconds(); math.Abs(got-3) > 1e-6 {
+		t.Errorf("CPUSeconds = %v after exit, want 3", got)
+	}
+}
+
+func TestLoadAverageWeightsByDemand(t *testing.T) {
+	k := sim.NewKernel(1)
+	h, err := New(k, hw.ReferenceMachine("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LoadAverage() != 0 {
+		t.Errorf("idle load = %v", h.LoadAverage())
+	}
+	idleVM := h.Spawn("idle-vm")
+	idleVM.SetDemand(0.01)
+	if got := h.LoadAverage(); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("idle-VM load = %v, want 0.01", got)
+	}
+	busy := h.Spawn("busy")
+	busy.SetDemand(1)
+	if got := h.LoadAverage(); math.Abs(got-1.01) > 1e-12 {
+		t.Errorf("load = %v, want 1.01", got)
+	}
+	busy.Stop()
+	if got := h.LoadAverage(); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("load after stop = %v, want 0.01", got)
+	}
+}

@@ -1,0 +1,43 @@
+package hostos
+
+import (
+	"vmgrid/internal/trace"
+)
+
+// LoadProcess couples a background "load" process to a host load trace,
+// reproducing the paper's host-load-trace playback: at every trace step
+// the process's CPU demand is set to the traced load average (capped at
+// one core by the process model, as a single competing process can use
+// at most the whole core).
+type LoadProcess struct {
+	proc     *Process
+	playback *trace.Playback
+}
+
+// NewLoadProcess spawns a load process on h driven by tr. Call Start to
+// begin applying load.
+func NewLoadProcess(h *Host, name string, tr *trace.Trace) *LoadProcess {
+	p := h.Spawn(name)
+	lp := &LoadProcess{proc: p}
+	lp.playback = trace.NewPlayback(h.Kernel(), tr, func(load float64) {
+		if !p.Exited() {
+			p.SetLoad(load)
+		}
+	})
+	return lp
+}
+
+// Proc returns the underlying host process.
+func (l *LoadProcess) Proc() *Process { return l.proc }
+
+// Start begins trace playback.
+func (l *LoadProcess) Start() { l.playback.Start() }
+
+// Stop halts playback and removes the background demand.
+func (l *LoadProcess) Stop() { l.playback.Stop() }
+
+// Kill stops playback and exits the process.
+func (l *LoadProcess) Kill() {
+	l.playback.Stop()
+	l.proc.Exit()
+}

@@ -1,0 +1,129 @@
+// Package hw models the physical hardware underneath a grid node: CPU,
+// disk, and network interface. The models are deliberately simple fluid /
+// queueing abstractions — just detailed enough that the phenomena the
+// paper measures (CPU contention, virtualization trap costs, disk copy
+// bandwidth, NFS round trips) emerge from mechanism rather than from
+// hard-coded answers.
+package hw
+
+import (
+	"fmt"
+
+	"vmgrid/internal/sim"
+)
+
+// CPUSpec describes a processor. Work throughout vmgrid is measured in
+// reference CPU-seconds: a CPU with Speed 1.0 retires one unit of work per
+// virtual second per core. The paper's compute node is a dual Pentium
+// III/933; we model the sequential benchmarks on a single core and expose
+// Cores for completeness.
+type CPUSpec struct {
+	// Model is a human-readable name ("PIII-933").
+	Model string
+	// Speed is the per-core execution rate in reference work units per
+	// second. 1.0 is the reference machine.
+	Speed float64
+	// Cores is the number of identical cores.
+	Cores int
+}
+
+// Validate reports whether the spec is usable.
+func (c CPUSpec) Validate() error {
+	if c.Speed <= 0 {
+		return fmt.Errorf("hw: cpu %q has non-positive speed %v", c.Model, c.Speed)
+	}
+	if c.Cores <= 0 {
+		return fmt.Errorf("hw: cpu %q has %d cores", c.Model, c.Cores)
+	}
+	return nil
+}
+
+// DiskSpec describes a disk device.
+type DiskSpec struct {
+	Model string
+	// SeekTime is the fixed positioning cost charged per request.
+	SeekTime sim.Duration
+	// BandwidthBps is the sequential transfer rate in bytes per second.
+	BandwidthBps float64
+	// CapacityBytes bounds the stored data (0 = unbounded).
+	CapacityBytes int64
+}
+
+// Validate reports whether the spec is usable.
+func (d DiskSpec) Validate() error {
+	if d.BandwidthBps <= 0 {
+		return fmt.Errorf("hw: disk %q has non-positive bandwidth %v", d.Model, d.BandwidthBps)
+	}
+	if d.SeekTime < 0 {
+		return fmt.Errorf("hw: disk %q has negative seek time %v", d.Model, d.SeekTime)
+	}
+	return nil
+}
+
+// NICSpec describes a network interface.
+type NICSpec struct {
+	Model string
+	// BandwidthBps is the line rate in bytes per second.
+	BandwidthBps float64
+}
+
+// MachineSpec bundles the hardware of one physical node.
+type MachineSpec struct {
+	Name     string
+	CPU      CPUSpec
+	Disk     DiskSpec
+	NIC      NICSpec
+	MemBytes int64
+}
+
+// Validate reports whether the machine spec is usable.
+func (m MachineSpec) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("hw: machine without a name")
+	}
+	if err := m.CPU.Validate(); err != nil {
+		return fmt.Errorf("machine %q: %w", m.Name, err)
+	}
+	if err := m.Disk.Validate(); err != nil {
+		return fmt.Errorf("machine %q: %w", m.Name, err)
+	}
+	if m.MemBytes <= 0 {
+		return fmt.Errorf("hw: machine %q has %d bytes of memory", m.Name, m.MemBytes)
+	}
+	return nil
+}
+
+const (
+	// KB, MB, GB are byte sizes used throughout the hardware catalog.
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+)
+
+// ReferenceMachine returns the paper's compute node: a (single-core model
+// of a) dual Pentium III/933 with 512 MB memory, an IDE-era disk, and
+// 100 Mbit Ethernet. All calibration in the cost model assumes Speed 1.0
+// on this machine.
+func ReferenceMachine(name string) MachineSpec {
+	return MachineSpec{
+		Name: name,
+		CPU:  CPUSpec{Model: "PIII-933", Speed: 1.0, Cores: 2},
+		Disk: DiskSpec{
+			Model:         "IDE-40",
+			SeekTime:      6 * sim.Millisecond,
+			BandwidthBps:  40e6,
+			CapacityBytes: 60 * GB,
+		},
+		NIC:      NICSpec{Model: "eepro100", BandwidthBps: 100e6 / 8},
+		MemBytes: 512 * MB,
+	}
+}
+
+// ServerMachine returns a beefier CPU-farm node used by capacity tests.
+func ServerMachine(name string) MachineSpec {
+	m := ReferenceMachine(name)
+	m.CPU = CPUSpec{Model: "PIII-Xeon", Speed: 1.2, Cores: 4}
+	m.MemBytes = 2 * GB
+	m.NIC = NICSpec{Model: "gigE", BandwidthBps: 1000e6 / 8}
+	return m
+}

@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"vmgrid/internal/sim"
+)
+
+func TestLinkFailureBreaksRoute(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	n.AddNode("a")
+	n.AddNode("b")
+	if err := n.ConnectLAN("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetLinkUp("a", "b", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send("a", "b", 1, nil, nil); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("send over down link = %v, want ErrNoRoute", err)
+	}
+	if _, err := n.Latency("a", "b", 1); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("latency over down link = %v", err)
+	}
+	// Repair restores connectivity.
+	if err := n.SetLinkUp("a", "b", true); err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	if err := n.Send("a", "b", 1, nil, func(any) { delivered = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !delivered {
+		t.Error("message lost after repair")
+	}
+}
+
+func TestLinkFailureReroutesAroundDetour(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	for _, name := range []string{"a", "b", "r"} {
+		n.AddNode(name)
+	}
+	if err := n.Connect("a", "b", sim.Millisecond, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("a", "r", 10*sim.Millisecond, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("r", "b", 10*sim.Millisecond, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	// Direct path first.
+	direct, err := n.Latency("a", "b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != sim.Millisecond {
+		t.Fatalf("direct latency = %v", direct)
+	}
+	// Kill the direct link; traffic detours through r.
+	if err := n.SetLinkUp("a", "b", false); err != nil {
+		t.Fatal(err)
+	}
+	detour, err := n.Latency("a", "b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detour != 20*sim.Millisecond {
+		t.Fatalf("detour latency = %v, want 20ms via r", detour)
+	}
+	delivered := false
+	if err := n.Send("a", "b", 100, nil, func(any) { delivered = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !delivered {
+		t.Error("detoured message lost")
+	}
+}
+
+func TestSetLinkUpErrors(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	n.AddNode("a")
+	n.AddNode("b")
+	if err := n.SetLinkUp("a", "ghost", false); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := n.SetLinkUp("a", "b", false); err == nil {
+		t.Error("missing link accepted")
+	}
+}

@@ -1,0 +1,271 @@
+// Package netsim models the network joining grid sites: named nodes
+// connected by links with latency and bandwidth. Messages queue FIFO per
+// link direction, so concurrent transfers contend for bandwidth the way
+// they do on a real wire. Routing is shortest-path by hop count,
+// recomputed lazily when the topology changes.
+//
+// Two canonical topologies bracket the paper's testbed: a switched
+// 100 Mbit LAN (Table 2's "within a LAN" startup measurements) and the
+// Northwestern–Florida WAN path used by the PVFS rows of Table 1.
+package netsim
+
+import (
+	"fmt"
+
+	"vmgrid/internal/sim"
+)
+
+// Default link parameters for the paper-era testbed.
+const (
+	// LANLatency is the one-way latency of a switched Fast Ethernet hop.
+	LANLatency = 150 * sim.Microsecond
+	// LANBandwidthBps is Fast Ethernet line rate in bytes/second.
+	LANBandwidthBps = 100e6 / 8
+	// WANLatency is the one-way latency between the two university
+	// sites (~28 ms RTT, typical Abilene-era cross-country path).
+	WANLatency = 14 * sim.Millisecond
+	// WANBandwidthBps is the sustained wide-area TCP throughput the
+	// paper's transfers would have seen (~5 MB/s).
+	WANBandwidthBps = 5e6
+)
+
+// Network is a set of nodes and links sharing one simulation kernel.
+type Network struct {
+	k      *sim.Kernel
+	nodes  map[string]*Node
+	routes map[string]map[string]string // routes[src][dst] = next hop
+	dirty  bool
+}
+
+// New creates an empty network.
+func New(k *sim.Kernel) *Network {
+	return &Network{
+		k:     k,
+		nodes: make(map[string]*Node),
+	}
+}
+
+// Kernel returns the simulation kernel.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Nodes returns the number of nodes.
+func (n *Network) Nodes() int { return len(n.nodes) }
+
+// AddNode creates a node. Adding an existing name returns the existing
+// node, so topology builders can be idempotent.
+func (n *Network) AddNode(name string) *Node {
+	if node, ok := n.nodes[name]; ok {
+		return node
+	}
+	node := &Node{net: n, name: name, links: make(map[string]*link)}
+	n.nodes[name] = node
+	n.dirty = true
+	return node
+}
+
+// Connect joins two nodes with a bidirectional link. Each direction has
+// its own transmission queue.
+func (n *Network) Connect(a, b string, latency sim.Duration, bandwidthBps float64) error {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		return fmt.Errorf("netsim: connect %q-%q: unknown node", a, b)
+	}
+	if bandwidthBps <= 0 {
+		return fmt.Errorf("netsim: connect %q-%q: bandwidth %v", a, b, bandwidthBps)
+	}
+	na.links[b] = &link{net: n, to: nb, latency: latency, bwBps: bandwidthBps}
+	nb.links[a] = &link{net: n, to: na, latency: latency, bwBps: bandwidthBps}
+	n.dirty = true
+	return nil
+}
+
+// ConnectLAN joins two nodes with default LAN parameters.
+func (n *Network) ConnectLAN(a, b string) error {
+	return n.Connect(a, b, LANLatency, LANBandwidthBps)
+}
+
+// ConnectWAN joins two nodes with default WAN parameters.
+func (n *Network) ConnectWAN(a, b string) error {
+	return n.Connect(a, b, WANLatency, WANBandwidthBps)
+}
+
+// SetLinkUp marks the a<->b link up or down (failure injection). Routing
+// recomputes around down links; messages already in flight still arrive.
+func (n *Network) SetLinkUp(a, b string, up bool) error {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		return fmt.Errorf("netsim: set link %q-%q: unknown node", a, b)
+	}
+	la, lb := na.links[b], nb.links[a]
+	if la == nil || lb == nil {
+		return fmt.Errorf("netsim: set link %q-%q: no such link", a, b)
+	}
+	la.down = !up
+	lb.down = !up
+	n.dirty = true
+	return nil
+}
+
+// BuildLAN creates the named nodes (if needed) and joins them through an
+// implicit switch: every pair is one LAN hop apart.
+func (n *Network) BuildLAN(names ...string) error {
+	for _, name := range names {
+		n.AddNode(name)
+	}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			if err := n.ConnectLAN(a, b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ErrNoRoute is wrapped by Send when the destination is unreachable.
+var ErrNoRoute = fmt.Errorf("netsim: no route")
+
+// Send transmits size bytes from src to dst and invokes deliver with the
+// payload when the last byte arrives. Multi-hop paths pay each hop's
+// latency and queue for each hop's bandwidth.
+func (n *Network) Send(src, dst string, size int64, payload any, deliver func(payload any)) error {
+	from := n.nodes[src]
+	if from == nil {
+		return fmt.Errorf("netsim: send from unknown node %q", src)
+	}
+	if n.nodes[dst] == nil {
+		return fmt.Errorf("netsim: send to unknown node %q", dst)
+	}
+	if size < 0 {
+		size = 0
+	}
+	return n.forward(from, dst, size, payload, deliver)
+}
+
+func (n *Network) forward(from *Node, dst string, size int64, payload any, deliver func(any)) error {
+	if from.name == dst {
+		n.k.After(0, func() { deliver(payload) })
+		return nil
+	}
+	n.ensureRoutes()
+	hop, ok := n.routes[from.name][dst]
+	if !ok {
+		return fmt.Errorf("%w: %s -> %s", ErrNoRoute, from.name, dst)
+	}
+	l := from.links[hop]
+	l.transmit(size, func() {
+		// Errors cannot occur past the first hop: the route table only
+		// contains fully connected paths.
+		_ = n.forward(l.to, dst, size, payload, deliver)
+	})
+	return nil
+}
+
+// Latency returns the unloaded one-way latency from src to dst for a
+// message of the given size, or an error if unreachable. Useful for
+// analytic assertions.
+func (n *Network) Latency(src, dst string, size int64) (sim.Duration, error) {
+	if src == dst {
+		return 0, nil
+	}
+	n.ensureRoutes()
+	var total sim.Duration
+	cur := n.nodes[src]
+	if cur == nil || n.nodes[dst] == nil {
+		return 0, fmt.Errorf("netsim: latency: unknown node")
+	}
+	for cur.name != dst {
+		hop, ok := n.routes[cur.name][dst]
+		if !ok {
+			return 0, fmt.Errorf("%w: %s -> %s", ErrNoRoute, cur.name, dst)
+		}
+		l := cur.links[hop]
+		total += l.latency + sim.DurationOf(float64(size)/l.bwBps)
+		cur = l.to
+	}
+	return total, nil
+}
+
+// ensureRoutes rebuilds the all-pairs next-hop table (BFS per node) if
+// the topology changed.
+func (n *Network) ensureRoutes() {
+	if !n.dirty {
+		return
+	}
+	n.routes = make(map[string]map[string]string, len(n.nodes))
+	for name, node := range n.nodes {
+		next := make(map[string]string)
+		// BFS from node; record first hop toward every destination.
+		type qe struct {
+			at    *Node
+			first string
+		}
+		visited := map[string]bool{name: true}
+		var queue []qe
+		for peer, l := range node.links {
+			if l.down || visited[peer] {
+				continue
+			}
+			visited[peer] = true
+			next[peer] = peer
+			queue = append(queue, qe{at: n.nodes[peer], first: peer})
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for peer, l := range cur.at.links {
+				if l.down || visited[peer] {
+					continue
+				}
+				visited[peer] = true
+				next[peer] = cur.first
+				queue = append(queue, qe{at: n.nodes[peer], first: cur.first})
+			}
+		}
+		n.routes[name] = next
+	}
+	n.dirty = false
+}
+
+// Node is a network attachment point (one per simulated machine).
+type Node struct {
+	net   *Network
+	name  string
+	links map[string]*link
+}
+
+// Name returns the node name.
+func (nd *Node) Name() string { return nd.name }
+
+// Degree returns the number of attached links.
+func (nd *Node) Degree() int { return len(nd.links) }
+
+// link is one direction of a connection. Transmissions serialize: the
+// wire carries one message at a time at full bandwidth.
+type link struct {
+	net     *Network
+	to      *Node
+	latency sim.Duration
+	bwBps   float64
+	down    bool
+
+	busyUntil sim.Time
+	bytes     uint64
+}
+
+// transmit queues size bytes on the link and calls done when the last
+// byte has arrived at the far end (store-and-forward).
+func (l *link) transmit(size int64, done func()) {
+	k := l.net.k
+	start := k.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	txEnd := start.Add(sim.DurationOf(float64(size) / l.bwBps))
+	l.busyUntil = txEnd
+	l.bytes += uint64(size)
+	k.At(txEnd.Add(l.latency), done)
+}

@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelDispatch measures raw event throughput of the
+// simulation core — the budget every higher-level model spends from.
+func BenchmarkKernelDispatch(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	var fire func()
+	n := 0
+	fire = func() {
+		n++
+		if n < b.N {
+			k.After(1, fire)
+		}
+	}
+	k.After(1, fire)
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkKernelScheduleCancel measures churn: schedule + cancel pairs,
+// the pattern WorkTracker rate changes produce.
+func BenchmarkKernelScheduleCancel(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := k.At(Time(i+1), nil)
+		k.Cancel(id)
+	}
+}
+
+// BenchmarkWorkTrackerRateChanges measures the fluid model under
+// frequent reallocation (the hot path of a contended host).
+func BenchmarkWorkTrackerRateChanges(b *testing.B) {
+	k := NewKernel(1)
+	w := NewWorkTracker(k, 1e12, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.SetRate(float64(i%7) + 1)
+	}
+}
+
+// BenchmarkRNG measures the deterministic generator.
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,40 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"vmgrid/internal/sim"
+)
+
+// A kernel dispatches events in virtual-time order; the clock advances
+// only when events fire, so simulated hours cost real microseconds.
+func ExampleKernel() {
+	k := sim.NewKernel(1)
+	k.After(2*sim.Hour, func() {
+		fmt.Printf("backup at %v\n", k.Now())
+	})
+	k.After(30*sim.Second, func() {
+		fmt.Printf("heartbeat at %v\n", k.Now())
+	})
+	end := k.Run()
+	fmt.Printf("simulation ended at %v\n", end)
+	// Output:
+	// heartbeat at t=30.000000s
+	// backup at t=7200.000000s
+	// simulation ended at t=7200.000000s
+}
+
+// A WorkTracker drains a fixed amount of work at a piecewise-constant
+// rate — the fluid model behind every CPU, disk, and wire in vmgrid.
+func ExampleWorkTracker() {
+	k := sim.NewKernel(1)
+	job := sim.NewWorkTracker(k, 10, func() {
+		fmt.Printf("done at %v\n", k.Now())
+	})
+	job.SetRate(1) // 1 unit/s
+	// Halfway through, the machine gets twice as fast.
+	k.At(sim.Time(5*sim.Second), func() { job.SetRate(2) })
+	k.Run()
+	// Output:
+	// done at t=7.500000s
+}

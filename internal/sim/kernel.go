@@ -1,0 +1,231 @@
+// Package sim provides the discrete-event simulation kernel on which the
+// vmgrid hardware, operating-system, network, and middleware models run.
+//
+// All simulated components share a single Kernel, which owns the virtual
+// clock and a priority queue of pending events. Virtual time is expressed
+// as Time (microseconds); it advances only when the kernel dispatches the
+// next event, so simulations are deterministic and run as fast as the host
+// machine allows regardless of how many simulated seconds they cover.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in microseconds since the start of the
+// simulation. It is deliberately not time.Time: simulated experiments must
+// never consult the wall clock.
+type Time int64
+
+// Duration is a span of virtual time, in microseconds.
+type Duration int64
+
+// Common durations, mirroring the time package for readability.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+	Minute      Duration = 60 * Second
+	Hour        Duration = 60 * Minute
+)
+
+// Seconds converts d to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Std converts d to a standard library time.Duration for display purposes.
+func (d Duration) Std() time.Duration { return time.Duration(d) * time.Microsecond }
+
+// String renders the duration using the standard library notation.
+func (d Duration) String() string { return d.Std().String() }
+
+// DurationOf converts floating-point seconds to a Duration, rounding to the
+// nearest microsecond.
+func DurationOf(seconds float64) Duration {
+	return Duration(math.Round(seconds * float64(Second)))
+}
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from earlier to t.
+func (t Time) Sub(earlier Time) Duration { return Duration(t - earlier) }
+
+// Seconds converts t to floating-point seconds since simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("t=%.6fs", t.Seconds()) }
+
+// ErrStalled is returned by RunUntil when the event queue drains before the
+// requested time is reached. Callers that expect an open-ended simulation
+// can match it with errors.Is.
+var ErrStalled = errors.New("sim: event queue drained before deadline")
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant so dispatch order is deterministic (FIFO per instant).
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // position in the heap, maintained by heap.Interface
+}
+
+// EventID identifies a scheduled event so it can be canceled. The zero
+// EventID is invalid.
+type EventID struct{ ev *event }
+
+// Valid reports whether the id refers to a scheduled (possibly already
+// fired) event.
+func (id EventID) Valid() bool { return id.ev != nil }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is the discrete-event simulation core: a virtual clock plus an
+// ordered queue of pending events. A Kernel is not safe for concurrent use;
+// a simulation is a single-threaded deterministic program by design.
+type Kernel struct {
+	now        Time
+	queue      eventQueue
+	seq        uint64
+	rng        *RNG
+	dispatched uint64
+}
+
+// NewKernel returns a kernel with the clock at zero and randomness seeded
+// from seed. The same seed always produces the same simulation.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// RNG returns the kernel's deterministic random number generator.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// Pending returns the number of events waiting to be dispatched.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Dispatched returns the total number of events executed so far.
+func (k *Kernel) Dispatched() uint64 { return k.dispatched }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in the
+// past (before Now) panics: it is always a simulation bug, never a
+// recoverable condition.
+func (k *Kernel) At(at Time, fn func()) EventID {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", at, k.now))
+	}
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return EventID{ev: ev}
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (k *Kernel) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event %v in the past", d))
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that
+// already fired (or an invalid id) is a no-op so callers can cancel
+// unconditionally during teardown.
+func (k *Kernel) Cancel(id EventID) {
+	if id.ev == nil || id.ev.canceled {
+		return
+	}
+	id.ev.canceled = true
+	if id.ev.index >= 0 {
+		heap.Remove(&k.queue, id.ev.index)
+	}
+}
+
+// step dispatches the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was dispatched.
+func (k *Kernel) step() bool {
+	for len(k.queue) > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		k.now = ev.at
+		k.dispatched++
+		if ev.fn != nil {
+			ev.fn()
+		}
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue is empty and returns the final
+// virtual time.
+func (k *Kernel) Run() Time {
+	for k.step() {
+	}
+	return k.now
+}
+
+// RunUntil dispatches events until the virtual clock reaches deadline.
+// Events scheduled exactly at the deadline are dispatched. If the queue
+// drains early the clock stays at the last event time and ErrStalled is
+// returned.
+func (k *Kernel) RunUntil(deadline Time) error {
+	for {
+		if len(k.queue) == 0 {
+			if k.now < deadline {
+				k.now = deadline
+				return ErrStalled
+			}
+			return nil
+		}
+		next := k.queue[0]
+		if next.at > deadline {
+			k.now = deadline
+			return nil
+		}
+		k.step()
+	}
+}
+
+// RunFor advances the simulation by d virtual time. See RunUntil.
+func (k *Kernel) RunFor(d Duration) error { return k.RunUntil(k.now.Add(d)) }

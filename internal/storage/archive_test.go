@@ -1,0 +1,142 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"vmgrid/internal/hostos"
+	"vmgrid/internal/hw"
+	"vmgrid/internal/sim"
+)
+
+func archiveFixture(t *testing.T) (*sim.Kernel, *Store, *Archive) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	h, err := hostos.New(k, hw.ReferenceMachine("n1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(h)
+	return k, s, NewArchive(k)
+}
+
+func TestArchiveStoreAndRecall(t *testing.T) {
+	k, s, a := archiveFixture(t)
+	const size = 256 << 20
+	if err := s.Create("old-image.disk", size); err != nil {
+		t.Fatal(err)
+	}
+	var storeErr error = errors.New("pending")
+	if err := a.Store(s, "old-image.disk", func(err error) { storeErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if storeErr != nil {
+		t.Fatalf("store: %v", storeErr)
+	}
+	if s.Has("old-image.disk") {
+		t.Error("online copy not deleted after archiving")
+	}
+	if !a.Has("old-image.disk") {
+		t.Error("archive does not hold the image")
+	}
+	if a.Mounts() == 0 {
+		t.Error("no tape mount recorded")
+	}
+
+	// Recall takes at least the mount latency plus streaming time.
+	start := k.Now()
+	var recallAt sim.Time = -1
+	if err := a.Recall(s, "old-image.disk", func(err error) {
+		if err != nil {
+			t.Errorf("recall: %v", err)
+		}
+		recallAt = k.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if recallAt < 0 {
+		t.Fatal("recall never completed")
+	}
+	elapsed := recallAt.Sub(start).Seconds()
+	minExpected := TapeMountLatency.Seconds() + float64(size)/TapeBandwidthBps
+	if elapsed < minExpected*0.9 {
+		t.Errorf("recall took %.1fs, tape physics demand ≥ %.1fs", elapsed, minExpected)
+	}
+	if !s.Has("old-image.disk") {
+		t.Error("recalled image missing from store")
+	}
+	if a.Has("old-image.disk") {
+		t.Error("archive still lists recalled image")
+	}
+}
+
+func TestArchiveErrors(t *testing.T) {
+	k, s, a := archiveFixture(t)
+	if err := a.Store(s, "missing", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("store missing = %v", err)
+	}
+	if err := a.Recall(s, "missing", nil); !errors.Is(err, ErrNotArchived) {
+		t.Errorf("recall missing = %v", err)
+	}
+	if err := a.Remove("missing"); !errors.Is(err, ErrNotArchived) {
+		t.Errorf("remove missing = %v", err)
+	}
+
+	if err := s.Create("img", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store(s, "img", nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	// Double-archive and recall-onto-existing both fail.
+	if err := s.Create("img", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store(s, "img", nil); err == nil {
+		t.Error("double archive accepted")
+	}
+	if err := a.Recall(s, "img", nil); !errors.Is(err, ErrExists) {
+		t.Errorf("recall onto existing = %v", err)
+	}
+}
+
+func TestArchiveRemoveEndsLifeCycle(t *testing.T) {
+	k, s, a := archiveFixture(t)
+	if err := s.Create("img", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store(s, "img", nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if err := a.Remove("img"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Has("img") || len(a.Files()) != 0 {
+		t.Error("image persists after removal")
+	}
+}
+
+func TestArchiveDriveSerializes(t *testing.T) {
+	k, s, a := archiveFixture(t)
+	for _, name := range []string{"a", "b"} {
+		if err := s.Create(name, 64<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var doneA, doneB sim.Time
+	if err := a.Store(s, "a", func(error) { doneA = k.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store(s, "b", func(error) { doneB = k.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	// Two mounts cannot overlap on one drive.
+	if gap := doneB.Sub(doneA); gap < TapeMountLatency {
+		t.Errorf("second archive finished %v after first; drive not serialized", gap)
+	}
+}

@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"fmt"
+)
+
+// ImageInfo describes an archived virtual machine image: a base virtual
+// disk plus, for "warm" images, a saved memory snapshot that lets the
+// guest resume from a post-boot state (the paper's VM-restore path).
+type ImageInfo struct {
+	// Name is the catalog key, e.g. "rh72-base".
+	Name string
+	// OS describes the installed guest system, e.g. "redhat-7.2".
+	OS string
+	// DiskBytes is the virtual disk size.
+	DiskBytes int64
+	// MemBytes is the saved memory image size; zero for cold images.
+	MemBytes int64
+}
+
+// Warm reports whether the image carries a memory snapshot to restore.
+func (i ImageInfo) Warm() bool { return i.MemBytes > 0 }
+
+// TotalBytes returns the full state size (disk plus memory image).
+func (i ImageInfo) TotalBytes() int64 { return i.DiskBytes + i.MemBytes }
+
+// DiskFile returns the store file name holding the virtual disk.
+func (i ImageInfo) DiskFile() string { return i.Name + ".disk" }
+
+// MemFile returns the store file name holding the memory snapshot.
+func (i ImageInfo) MemFile() string { return i.Name + ".mem" }
+
+// Validate reports whether the metadata is usable.
+func (i ImageInfo) Validate() error {
+	if i.Name == "" {
+		return fmt.Errorf("storage: image without a name")
+	}
+	if i.DiskBytes <= 0 {
+		return fmt.Errorf("storage: image %q disk size %d", i.Name, i.DiskBytes)
+	}
+	if i.MemBytes < 0 {
+		return fmt.Errorf("storage: image %q memory size %d", i.Name, i.MemBytes)
+	}
+	return nil
+}
+
+// InstallImage materializes an image's files into a store (metadata-only:
+// the archive is assumed to already be there, as on the paper's image
+// servers).
+func InstallImage(s *Store, info ImageInfo) error {
+	if err := info.Validate(); err != nil {
+		return err
+	}
+	if err := s.Create(info.DiskFile(), info.DiskBytes); err != nil {
+		return err
+	}
+	if info.Warm() {
+		if err := s.Create(info.MemFile(), info.MemBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cowPage is the COW granularity. VMware REDO logs operate on 64 KB
+// grains; we match the buffer-cache page for simplicity.
+const cowPage int64 = 64 * 1024
+
+// CowDisk is a non-persistent virtual disk: reads come from a (possibly
+// remote, read-only, shared) base image, writes go to a local difference
+// file. Discarding the diff discards the session — exactly VMware's
+// non-persistent mode, which Table 2 shows is what makes dynamic VM
+// instantiation cheap.
+type CowDisk struct {
+	base    Backend
+	diff    Backend
+	written map[int64]bool
+}
+
+var _ Backend = (*CowDisk)(nil)
+
+// NewCowDisk layers a local diff file over a base image backend.
+func NewCowDisk(base, diff Backend) *CowDisk {
+	return &CowDisk{base: base, diff: diff, written: make(map[int64]bool)}
+}
+
+// Name identifies the disk for diagnostics.
+func (c *CowDisk) Name() string { return c.base.Name() + "+cow" }
+
+// Size returns the base image size.
+func (c *CowDisk) Size() int64 { return c.base.Size() }
+
+// DiffBytes returns how much data has been redirected to the diff file.
+func (c *CowDisk) DiffBytes() int64 { return int64(len(c.written)) * cowPage }
+
+// WrittenPages returns the COW page indices redirected so far — the
+// metadata that must travel with the diff file when a session migrates.
+func (c *CowDisk) WrittenPages() []int64 {
+	out := make([]int64, 0, len(c.written))
+	for pg := range c.written {
+		out = append(out, pg)
+	}
+	return out
+}
+
+// MarkWritten replays COW metadata onto a fresh disk (migration arrival
+// path): reads of these pages will come from the diff backend.
+func (c *CowDisk) MarkWritten(pages []int64) {
+	for _, pg := range pages {
+		c.written[pg] = true
+	}
+}
+
+// Read fetches each page from the diff if written, else the base.
+// For simplicity a read spanning both sources is charged to each source
+// for the bytes it owns, completing when both halves arrive.
+func (c *CowDisk) Read(off, size int64, done func()) { c.read(off, size, done, false) }
+
+// ReadSequential implements Backend.
+func (c *CowDisk) ReadSequential(off, size int64, done func()) { c.read(off, size, done, true) }
+
+func (c *CowDisk) read(off, size int64, done func(), sequential bool) {
+	if size <= 0 {
+		size = 1
+	}
+	first := off / cowPage
+	last := (off + size - 1) / cowPage
+	var diffBytes, baseBytes int64
+	for pg := first; pg <= last; pg++ {
+		if c.written[pg] {
+			diffBytes += cowPage
+		} else {
+			baseBytes += cowPage
+		}
+	}
+	outstanding := 0
+	if diffBytes > 0 {
+		outstanding++
+	}
+	if baseBytes > 0 {
+		outstanding++
+	}
+	complete := func() {
+		outstanding--
+		if outstanding == 0 && done != nil {
+			done()
+		}
+	}
+	read := func(b Backend, n int64) {
+		if sequential {
+			b.ReadSequential(off, n, complete)
+			return
+		}
+		b.Read(off, n, complete)
+	}
+	if diffBytes > 0 {
+		read(c.diff, diffBytes)
+	}
+	if baseBytes > 0 {
+		read(c.base, baseBytes)
+	}
+}
+
+// Write sends every page to the diff file and marks it copied-on-write.
+func (c *CowDisk) Write(off, size int64, done func()) {
+	if size <= 0 {
+		size = 1
+	}
+	first := off / cowPage
+	last := (off + size - 1) / cowPage
+	for pg := first; pg <= last; pg++ {
+		c.written[pg] = true
+	}
+	c.diff.Write(off, size, done)
+}

@@ -1,0 +1,217 @@
+// Package trace provides host load traces and their playback, standing in
+// for the Pittsburgh Supercomputing Center Alpha-cluster traces the paper
+// replays with Dinda's host load playback tool. Traces are fixed-step
+// series of load averages; a synthetic generator reproduces the
+// statistical shape that matters for the Figure 1 microbenchmark —
+// configurable mean utilization with bursty, autocorrelated variation.
+package trace
+
+import (
+	"fmt"
+
+	"vmgrid/internal/sim"
+)
+
+// Trace is a fixed-step host load series. Loads[i] is the average number
+// of competing runnable processes during step i (a load average, so values
+// above 1.0 are meaningful).
+type Trace struct {
+	// Step is the sampling interval.
+	Step sim.Duration
+	// Loads holds one load average per step.
+	Loads []float64
+}
+
+// Class selects one of the paper's three background load levels.
+type Class int
+
+// The background load classes used in Figure 1.
+const (
+	None Class = iota + 1
+	Light
+	Heavy
+)
+
+// String returns the class name as used in the paper.
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Light:
+		return "light"
+	case Heavy:
+		return "heavy"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Classes lists all load classes in presentation order.
+func Classes() []Class { return []Class{None, Light, Heavy} }
+
+// At returns the load in effect at virtual time tm. Times beyond the end
+// of the trace wrap around, so a trace can be played indefinitely.
+func (t *Trace) At(tm sim.Time) float64 {
+	if len(t.Loads) == 0 {
+		return 0
+	}
+	step := int64(t.Step)
+	if step <= 0 {
+		return t.Loads[0]
+	}
+	idx := (int64(tm) / step) % int64(len(t.Loads))
+	if idx < 0 {
+		idx += int64(len(t.Loads))
+	}
+	return t.Loads[idx]
+}
+
+// Duration returns the total covered virtual time.
+func (t *Trace) Duration() sim.Duration {
+	return t.Step * sim.Duration(len(t.Loads))
+}
+
+// Mean returns the average load over the whole trace.
+func (t *Trace) Mean() float64 {
+	if len(t.Loads) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range t.Loads {
+		sum += l
+	}
+	return sum / float64(len(t.Loads))
+}
+
+// Peak returns the largest load in the trace.
+func (t *Trace) Peak() float64 {
+	var peak float64
+	for _, l := range t.Loads {
+		if l > peak {
+			peak = l
+		}
+	}
+	return peak
+}
+
+// GenConfig parameterizes the synthetic load generator.
+type GenConfig struct {
+	// Mean is the target long-run load average.
+	Mean float64
+	// Rho is the AR(1) autocorrelation coefficient in [0, 1). Host load
+	// is strongly autocorrelated (Dinda, LCR 2000); 0.95 at a 1 s step
+	// reproduces the multi-second busy epochs seen in the PSC traces.
+	Rho float64
+	// Sigma is the innovation standard deviation.
+	Sigma float64
+	// BurstProb is the per-step probability of a heavy-tailed burst.
+	BurstProb float64
+	// BurstShape is the Pareto shape of burst magnitudes (smaller =
+	// heavier tail).
+	BurstShape float64
+	// Step is the sampling interval (default 1 s).
+	Step sim.Duration
+}
+
+// ClassConfig returns the generator preset for a load class.
+func ClassConfig(c Class) GenConfig {
+	cfg := GenConfig{Rho: 0.95, Step: sim.Second, BurstShape: 1.8}
+	switch c {
+	case None:
+		cfg.Mean, cfg.Sigma, cfg.BurstProb = 0, 0, 0
+	case Light:
+		cfg.Mean, cfg.Sigma, cfg.BurstProb = 0.22, 0.08, 0.01
+	case Heavy:
+		cfg.Mean, cfg.Sigma, cfg.BurstProb = 1.0, 0.25, 0.03
+	default:
+		cfg.Mean = 0
+	}
+	return cfg
+}
+
+// Generate produces a synthetic trace of n steps. The process is AR(1)
+// around the configured mean with occasional Pareto bursts, clipped at
+// zero; the result has roughly the configured mean and the bursty,
+// epochal texture of measured host load.
+func Generate(rng *sim.RNG, cfg GenConfig, n int) *Trace {
+	if cfg.Step <= 0 {
+		cfg.Step = sim.Second
+	}
+	loads := make([]float64, n)
+	level := cfg.Mean
+	for i := 0; i < n; i++ {
+		if cfg.Sigma > 0 {
+			level = cfg.Rho*level + (1-cfg.Rho)*cfg.Mean + cfg.Sigma*rng.Normal(0, 1)
+		} else {
+			level = cfg.Mean
+		}
+		if level < 0 {
+			level = 0
+		}
+		v := level
+		if cfg.BurstProb > 0 && rng.Float64() < cfg.BurstProb {
+			v += rng.Pareto(cfg.Mean/2+0.05, cfg.BurstShape)
+		}
+		loads[i] = v
+	}
+	return &Trace{Step: cfg.Step, Loads: loads}
+}
+
+// Synthetic returns a trace of n steps for the given class, seeded from rng.
+func Synthetic(c Class, rng *sim.RNG, n int) *Trace {
+	return Generate(rng, ClassConfig(c), n)
+}
+
+// Playback walks a trace on the kernel, invoking a sink at every step
+// with the current load. It is the simulated analogue of Dinda's host
+// load trace playback tool: the sink typically sets the CPU demand of a
+// background "load" process.
+type Playback struct {
+	k       *sim.Kernel
+	trace   *Trace
+	sink    func(load float64)
+	step    int
+	running bool
+	next    sim.EventID
+}
+
+// NewPlayback prepares (but does not start) playback of tr, delivering
+// each step's load to sink.
+func NewPlayback(k *sim.Kernel, tr *Trace, sink func(load float64)) *Playback {
+	return &Playback{k: k, trace: tr, sink: sink}
+}
+
+// Start begins playback at the current virtual time. The trace loops
+// forever; call Stop to end it. Starting an already-running playback is a
+// no-op.
+func (p *Playback) Start() {
+	if p.running || len(p.trace.Loads) == 0 {
+		return
+	}
+	p.running = true
+	p.tick()
+}
+
+// Stop halts playback and delivers a final load of zero so the sink does
+// not keep stale background demand applied.
+func (p *Playback) Stop() {
+	if !p.running {
+		return
+	}
+	p.running = false
+	p.k.Cancel(p.next)
+	p.next = sim.EventID{}
+	p.sink(0)
+}
+
+// Running reports whether playback is active.
+func (p *Playback) Running() bool { return p.running }
+
+func (p *Playback) tick() {
+	if !p.running {
+		return
+	}
+	p.sink(p.trace.Loads[p.step%len(p.trace.Loads)])
+	p.step++
+	p.next = p.k.After(p.trace.Step, p.tick)
+}

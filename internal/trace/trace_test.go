@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vmgrid/internal/sim"
+)
+
+func TestClassString(t *testing.T) {
+	if None.String() != "none" || Light.String() != "light" || Heavy.String() != "heavy" {
+		t.Error("class names wrong")
+	}
+	if Class(0).String() == "none" {
+		t.Error("zero class must not alias a real class")
+	}
+	if len(Classes()) != 3 {
+		t.Error("Classes() must list all three classes")
+	}
+}
+
+func TestAtWrapsAround(t *testing.T) {
+	tr := &Trace{Step: sim.Second, Loads: []float64{1, 2, 3}}
+	tests := []struct {
+		at   sim.Time
+		want float64
+	}{
+		{0, 1},
+		{sim.Time(sim.Second), 2},
+		{sim.Time(2 * sim.Second), 3},
+		{sim.Time(3 * sim.Second), 1},   // wrap
+		{sim.Time(7*sim.Second + 1), 2}, // wrap + offset
+		{sim.Time(500 * sim.Millisecond), 1},
+	}
+	for _, tt := range tests {
+		if got := tr.At(tt.at); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestAtEmptyAndDegenerate(t *testing.T) {
+	empty := &Trace{Step: sim.Second}
+	if empty.At(0) != 0 {
+		t.Error("empty trace must read 0")
+	}
+	zeroStep := &Trace{Loads: []float64{5}}
+	if zeroStep.At(sim.Time(sim.Hour)) != 5 {
+		t.Error("zero-step trace must read first sample")
+	}
+}
+
+func TestMeanPeakDuration(t *testing.T) {
+	tr := &Trace{Step: 2 * sim.Second, Loads: []float64{0, 1, 2, 1}}
+	if got := tr.Mean(); got != 1 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := tr.Peak(); got != 2 {
+		t.Errorf("Peak = %v", got)
+	}
+	if got := tr.Duration(); got != 8*sim.Second {
+		t.Errorf("Duration = %v", got)
+	}
+}
+
+func TestSyntheticClassMeans(t *testing.T) {
+	rng := sim.NewRNG(1)
+	const n = 20000
+	noneTr := Synthetic(None, rng, n)
+	if noneTr.Mean() != 0 || noneTr.Peak() != 0 {
+		t.Errorf("none class not flat zero: mean=%v peak=%v", noneTr.Mean(), noneTr.Peak())
+	}
+	light := Synthetic(Light, rng, n)
+	if m := light.Mean(); m < 0.12 || m > 0.38 {
+		t.Errorf("light mean = %v, want ~0.22", m)
+	}
+	heavy := Synthetic(Heavy, rng, n)
+	if m := heavy.Mean(); m < 0.7 || m > 1.45 {
+		t.Errorf("heavy mean = %v, want ~1.0", m)
+	}
+	if light.Mean() >= heavy.Mean() {
+		t.Error("light load must be lighter than heavy load")
+	}
+}
+
+func TestSyntheticNonNegative(t *testing.T) {
+	prop := func(seed uint64, classRaw uint8) bool {
+		c := Classes()[int(classRaw)%3]
+		tr := Synthetic(c, sim.NewRNG(seed), 500)
+		for _, l := range tr.Loads {
+			if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+				return false
+			}
+		}
+		return len(tr.Loads) == 500 && tr.Step == sim.Second
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(Heavy, sim.NewRNG(7), 100)
+	b := Synthetic(Heavy, sim.NewRNG(7), 100)
+	for i := range a.Loads {
+		if a.Loads[i] != b.Loads[i] {
+			t.Fatalf("same-seed traces diverge at %d", i)
+		}
+	}
+}
+
+func TestSyntheticAutocorrelated(t *testing.T) {
+	// Lag-1 autocorrelation of the heavy trace should be clearly
+	// positive — host load has epochs, not white noise.
+	tr := Synthetic(Heavy, sim.NewRNG(3), 10000)
+	mean := tr.Mean()
+	var num, den float64
+	for i := 1; i < len(tr.Loads); i++ {
+		num += (tr.Loads[i] - mean) * (tr.Loads[i-1] - mean)
+	}
+	for _, l := range tr.Loads {
+		den += (l - mean) * (l - mean)
+	}
+	if den == 0 {
+		t.Fatal("degenerate trace")
+	}
+	if r := num / den; r < 0.5 {
+		t.Errorf("lag-1 autocorrelation = %v, want > 0.5", r)
+	}
+}
+
+func TestPlaybackDeliversSteps(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := &Trace{Step: sim.Second, Loads: []float64{0.5, 1.5}}
+	var got []float64
+	p := NewPlayback(k, tr, func(l float64) { got = append(got, l) })
+	p.Start()
+	if !p.Running() {
+		t.Fatal("playback not running after Start")
+	}
+	if err := k.RunUntil(sim.Time(3*sim.Second + 1)); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1.5, 0.5, 1.5} // loops
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlaybackStopDeliversZero(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := &Trace{Step: sim.Second, Loads: []float64{2.0}}
+	var last float64 = -1
+	p := NewPlayback(k, tr, func(l float64) { last = l })
+	p.Start()
+	if err := k.RunUntil(sim.Time(1500 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if last != 2.0 {
+		t.Fatalf("load during playback = %v, want 2.0", last)
+	}
+	p.Stop()
+	if last != 0 {
+		t.Errorf("load after Stop = %v, want 0", last)
+	}
+	if p.Running() {
+		t.Error("Running() after Stop")
+	}
+	k.Run()
+	if last != 0 {
+		t.Errorf("playback kept ticking after Stop: %v", last)
+	}
+	// Idempotent stop / restartable.
+	p.Stop()
+	p.Start()
+	if !p.Running() {
+		t.Error("restart failed")
+	}
+}
+
+func TestPlaybackDoubleStartNoDuplicateTicks(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := &Trace{Step: sim.Second, Loads: []float64{1}}
+	count := 0
+	p := NewPlayback(k, tr, func(float64) { count++ })
+	p.Start()
+	p.Start()
+	if err := k.RunUntil(sim.Time(2*sim.Second + 1)); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 { // t=0, 1s, 2s
+		t.Errorf("tick count = %d, want 3 (double Start must not double ticks)", count)
+	}
+}

@@ -1,0 +1,404 @@
+package vfs
+
+import (
+	"container/list"
+	"fmt"
+
+	"vmgrid/internal/sim"
+	"vmgrid/internal/storage"
+)
+
+// Config tunes a client proxy.
+type Config struct {
+	// Rsize is the maximum bytes per read RPC.
+	Rsize int64
+	// Prefetch is the window fetched on a miss (≥ Rsize enables the
+	// proxy prefetching engine of Figure 2; == Rsize disables it).
+	Prefetch int64
+	// CacheBytes is the proxy's block cache capacity (0 disables
+	// caching).
+	CacheBytes int64
+	// PerOpCost is the client-side cost charged on every read
+	// operation, hit or miss: the in-guest NFS client plus the
+	// user-level proxy crossing. The paper's Table 1 shows this as the
+	// PVFS rows' inflated system time. Loopback transports already
+	// charge a stack latency, so their preset leaves this zero.
+	PerOpCost sim.Duration
+	// WriteBack enables the proxy's write buffer (Figure 2): writes are
+	// acknowledged once buffered and drain to the server asynchronously,
+	// up to MaxDirty outstanding bytes. Zero MaxDirty with WriteBack set
+	// uses a 4 MB default.
+	WriteBack bool
+	// MaxDirty bounds buffered-but-unacknowledged write data; writers
+	// stall beyond it (the throttle real page caches apply).
+	MaxDirty int64
+}
+
+// Presets matching the paper's three deployment points.
+
+// LoopbackNFSConfig models a kernel NFS client over the loopback:
+// 16 KB transfers with standard client readahead (4 pages) and a small
+// page-cache window. No user-level proxy sits on this path, so there is
+// no per-operation proxy cost — the stack latency lives in the
+// transport.
+func LoopbackNFSConfig() Config {
+	return Config{Rsize: 16 << 10, Prefetch: 64 << 10, CacheBytes: 4 << 20}
+}
+
+// LANConfig models a PVFS proxy to a data server on the same LAN.
+func LANConfig() Config {
+	return Config{
+		Rsize: 32 << 10, Prefetch: 128 << 10, CacheBytes: 64 << 20,
+		PerOpCost: 1200 * sim.Microsecond,
+		WriteBack: true, MaxDirty: 4 << 20,
+	}
+}
+
+// WANConfig models a PVFS proxy to a server across the wide area, where
+// aggressive prefetching amortizes the round trip.
+func WANConfig() Config {
+	return Config{
+		Rsize: 32 << 10, Prefetch: 192 << 10, CacheBytes: 128 << 20,
+		PerOpCost: 1200 * sim.Microsecond,
+		WriteBack: true, MaxDirty: 8 << 20,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Rsize <= 0 {
+		return fmt.Errorf("vfs: rsize %d", c.Rsize)
+	}
+	if c.Prefetch < c.Rsize {
+		return fmt.Errorf("vfs: prefetch %d < rsize %d", c.Prefetch, c.Rsize)
+	}
+	if c.CacheBytes < 0 {
+		return fmt.Errorf("vfs: cache %d", c.CacheBytes)
+	}
+	if c.MaxDirty < 0 {
+		return fmt.Errorf("vfs: max dirty %d", c.MaxDirty)
+	}
+	return nil
+}
+
+// Client is a per-session proxy: it caches and prefetches blocks from
+// one server over one transport. RPCs are issued one at a time (FIFO),
+// like a synchronous NFS client.
+type Client struct {
+	k   *sim.Kernel
+	t   Transport
+	cfg Config
+
+	lru   *list.List
+	index map[blockKey]*list.Element
+
+	queue  []func()
+	inCall bool
+
+	hits, misses, remoteOps uint64
+	bytesFetched            uint64
+	transportErrs           uint64
+	lastErr                 error
+
+	// write-back state
+	dirty        int64
+	stalled      []stalledWrite
+	flushWaiters []func()
+}
+
+type stalledWrite struct {
+	size int64
+	ack  func()
+}
+
+type blockKey struct {
+	file  string
+	block int64
+}
+
+// NewClient creates a proxy over transport t.
+func NewClient(k *sim.Kernel, t Transport, cfg Config) (*Client, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WriteBack && cfg.MaxDirty == 0 {
+		cfg.MaxDirty = 4 << 20
+	}
+	return &Client{
+		k:     k,
+		t:     t,
+		cfg:   cfg,
+		lru:   list.New(),
+		index: make(map[blockKey]*list.Element),
+	}, nil
+}
+
+// Hits returns blocks served from the proxy cache.
+func (c *Client) Hits() uint64 { return c.hits }
+
+// Misses returns blocks that required a fetch.
+func (c *Client) Misses() uint64 { return c.misses }
+
+// RemoteOps returns the number of RPCs issued.
+func (c *Client) RemoteOps() uint64 { return c.remoteOps }
+
+// BytesFetched returns the total bytes pulled from the server.
+func (c *Client) BytesFetched() uint64 { return c.bytesFetched }
+
+// TransportErrors returns how many RPCs failed (server unreachable or
+// unknown file). Reads still complete — like a soft-mounted NFS client
+// returning EIO — so callers must check this to detect data loss.
+func (c *Client) TransportErrors() uint64 { return c.transportErrs }
+
+// LastError returns the most recent transport error (nil if none).
+func (c *Client) LastError() error { return c.lastErr }
+
+func (c *Client) noteErr(err error) {
+	if err != nil {
+		c.transportErrs++
+		c.lastErr = err
+	}
+}
+
+// Open returns a Backend for the named remote file of the given size.
+func (c *Client) Open(file string, size int64) *RemoteFile {
+	return &RemoteFile{client: c, file: file, size: size}
+}
+
+// enqueue serializes RPC issue.
+func (c *Client) enqueue(fn func()) {
+	if c.inCall {
+		c.queue = append(c.queue, fn)
+		return
+	}
+	c.inCall = true
+	fn()
+}
+
+func (c *Client) callDone() {
+	if len(c.queue) == 0 {
+		c.inCall = false
+		return
+	}
+	next := c.queue[0]
+	c.queue = c.queue[1:]
+	next()
+}
+
+func (c *Client) cached(key blockKey) bool {
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		return true
+	}
+	return false
+}
+
+func (c *Client) insert(key blockKey) {
+	if c.cfg.CacheBytes < c.cfg.Rsize {
+		return
+	}
+	if c.cached(key) {
+		return
+	}
+	capBlocks := int(c.cfg.CacheBytes / c.cfg.Rsize)
+	for c.lru.Len() >= capBlocks && c.lru.Len() > 0 {
+		oldest := c.lru.Back()
+		delete(c.index, oldest.Value.(blockKey))
+		c.lru.Remove(oldest)
+	}
+	c.index[key] = c.lru.PushFront(key)
+}
+
+// RemoteFile is a storage.Backend served by the proxy.
+type RemoteFile struct {
+	client *Client
+	file   string
+	size   int64
+}
+
+var _ storage.Backend = (*RemoteFile)(nil)
+
+// Name implements storage.Backend.
+func (f *RemoteFile) Name() string { return "vfs:" + f.file }
+
+// Size implements storage.Backend.
+func (f *RemoteFile) Size() int64 { return f.size }
+
+// Read implements storage.Backend: walk the covered blocks, fetch the
+// missing ones (prefetch-window at a time), and complete when every
+// block is resident.
+func (f *RemoteFile) Read(off, size int64, done func()) {
+	f.client.read(f.file, off, size, done)
+}
+
+// ReadSequential implements storage.Backend (the prefetcher already
+// exploits sequentiality).
+func (f *RemoteFile) ReadSequential(off, size int64, done func()) {
+	f.client.read(f.file, off, size, done)
+}
+
+// Write implements storage.Backend. Without WriteBack it is a
+// write-through RPC: done fires on the server's acknowledgement. With
+// WriteBack (Figure 2's "write buffers"), done fires once the data is
+// buffered — immediately, unless the dirty bound forces a stall — and
+// the RPC drains in the background; use Client.Flush for durability.
+// Written blocks become resident in the proxy cache either way.
+func (f *RemoteFile) Write(off, size int64, done func()) {
+	c := f.client
+	if size <= 0 {
+		size = 1
+	}
+	rsize := c.cfg.Rsize
+	for b := off / rsize; b <= (off+size-1)/rsize; b++ {
+		c.insert(blockKey{file: f.file, block: b})
+	}
+	if end := off + size; end > f.size {
+		f.size = end
+	}
+
+	if !c.cfg.WriteBack {
+		c.enqueue(func() {
+			c.remoteOps++
+			c.t.Write(f.file, off, size, func(err error) {
+				c.noteErr(err)
+				c.callDone()
+				if done != nil {
+					done()
+				}
+			})
+		})
+		return
+	}
+
+	ack := func() {
+		if done != nil {
+			done()
+		}
+	}
+	if c.dirty+size > c.cfg.MaxDirty && c.dirty > 0 {
+		// Throttle: the ack waits until enough dirty data drains.
+		c.stalled = append(c.stalled, stalledWrite{size: size, ack: ack})
+	} else {
+		c.k.After(hitCost, ack)
+	}
+	c.dirty += size
+	c.enqueue(func() {
+		c.remoteOps++
+		c.t.Write(f.file, off, size, func(err error) {
+			c.noteErr(err)
+			c.dirty -= size
+			c.releaseStalled()
+			c.callDone()
+		})
+	})
+}
+
+// releaseStalled acknowledges throttled writers whose data now fits and
+// wakes flush waiters when the buffer is clean.
+func (c *Client) releaseStalled() {
+	for len(c.stalled) > 0 {
+		head := c.stalled[0]
+		// The head's bytes are already counted in dirty; release it once
+		// the rest of the buffer leaves room for it.
+		if c.dirty-head.size+head.size > c.cfg.MaxDirty && c.dirty > head.size {
+			break
+		}
+		c.stalled = c.stalled[1:]
+		c.k.After(hitCost, head.ack)
+	}
+	if c.dirty == 0 && len(c.flushWaiters) > 0 {
+		waiters := c.flushWaiters
+		c.flushWaiters = nil
+		for _, w := range waiters {
+			c.k.After(0, w)
+		}
+	}
+}
+
+// DirtyBytes returns buffered write data not yet on the server.
+func (c *Client) DirtyBytes() int64 { return c.dirty }
+
+// Flush invokes done once every buffered write has reached the server
+// (immediately if the buffer is clean).
+func (c *Client) Flush(done func()) {
+	if done == nil {
+		return
+	}
+	if c.dirty == 0 {
+		c.k.After(0, done)
+		return
+	}
+	c.flushWaiters = append(c.flushWaiters, done)
+}
+
+// read satisfies [off, off+size) through the cache.
+func (c *Client) read(file string, off, size int64, done func()) {
+	if c.cfg.PerOpCost > 0 {
+		c.k.After(c.cfg.PerOpCost, func() { c.readAfterClientCost(file, off, size, done) })
+		return
+	}
+	c.readAfterClientCost(file, off, size, done)
+}
+
+func (c *Client) readAfterClientCost(file string, off, size int64, done func()) {
+	if size <= 0 {
+		size = 1
+	}
+	rsize := c.cfg.Rsize
+	first := off / rsize
+	last := (off + size - 1) / rsize
+
+	// Collect the missing block runs.
+	var missing []int64
+	for b := first; b <= last; b++ {
+		if c.cached(blockKey{file: file, block: b}) {
+			c.hits++
+		} else {
+			c.misses++
+			missing = append(missing, b)
+		}
+	}
+	if len(missing) == 0 {
+		c.k.After(hitCost, done)
+		return
+	}
+
+	// Fetch prefetch-window-aligned spans covering the missing blocks.
+	window := c.cfg.Prefetch / rsize
+	if window < 1 {
+		window = 1
+	}
+	var spans [][2]int64 // [startBlock, blockCount]
+	i := 0
+	for i < len(missing) {
+		start := (missing[i] / window) * window
+		end := start + window
+		spans = append(spans, [2]int64{start, window})
+		for i < len(missing) && missing[i] < end {
+			i++
+		}
+	}
+
+	outstanding := len(spans)
+	for _, span := range spans {
+		startBlock, count := span[0], span[1]
+		for b := startBlock; b < startBlock+count; b++ {
+			c.insert(blockKey{file: file, block: b})
+		}
+		bytes := count * rsize
+		c.enqueue(func() {
+			c.remoteOps++
+			c.bytesFetched += uint64(bytes)
+			c.t.Read(file, startBlock*rsize, bytes, func(err error) {
+				c.noteErr(err)
+				c.callDone()
+				outstanding--
+				if outstanding == 0 && done != nil {
+					done()
+				}
+			})
+		})
+	}
+}
+
+// hitCost is the proxy's in-memory service time for a fully cached read.
+const hitCost = 30 * sim.Microsecond

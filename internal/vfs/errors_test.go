@@ -1,0 +1,88 @@
+package vfs
+
+import (
+	"testing"
+)
+
+func TestTransportErrorsCountedOnUnknownFile(t *testing.T) {
+	w := newWorld(t, false)
+	tr, err := NewNetTransport(w.net, "client", "server", w.server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(w.k, tr, LANConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.Open("does-not-exist", 1<<20)
+	completed := false
+	f.Read(0, 4096, func() { completed = true })
+	w.k.Run()
+	if !completed {
+		t.Fatal("read hung on server error")
+	}
+	if c.TransportErrors() == 0 {
+		t.Error("server error not counted")
+	}
+	if c.LastError() == nil {
+		t.Error("LastError not recorded")
+	}
+}
+
+func TestTransportErrorsCountedOnPartition(t *testing.T) {
+	w := newWorld(t, false)
+	tr, err := NewNetTransport(w.net, "client", "server", w.server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(w.k, tr, LANConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.net.SetLinkUp("client", "server", false); err != nil {
+		t.Fatal(err)
+	}
+	f := c.Open("data", 1<<30)
+	completed := false
+	f.Read(10<<20, 4096, func() { completed = true })
+	w.k.Run()
+	if !completed {
+		t.Fatal("read hung across a partition")
+	}
+	if c.TransportErrors() == 0 {
+		t.Error("partition error not counted")
+	}
+}
+
+func TestWriteErrorCounted(t *testing.T) {
+	w := newWorld(t, false)
+	tr, _ := NewNetTransport(w.net, "client", "server", w.server)
+	c, _ := NewClient(w.k, tr, LANConfig())
+	if err := w.net.SetLinkUp("client", "server", false); err != nil {
+		t.Fatal(err)
+	}
+	f := c.Open("scratch", 0)
+	completed := false
+	f.Write(0, 4096, func() { completed = true })
+	w.k.Run()
+	if !completed {
+		t.Fatal("write hung")
+	}
+	if c.TransportErrors() == 0 {
+		t.Error("write error not counted")
+	}
+}
+
+func TestHealthySessionHasNoErrors(t *testing.T) {
+	w := newWorld(t, false)
+	tr, _ := NewNetTransport(w.net, "client", "server", w.server)
+	c, _ := NewClient(w.k, tr, LANConfig())
+	f := c.Open("data", 1<<30)
+	for i := int64(0); i < 8; i++ {
+		f.Read(i*(1<<20), 64<<10, nil)
+	}
+	w.k.Run()
+	if c.TransportErrors() != 0 {
+		t.Errorf("healthy session recorded %d errors: %v", c.TransportErrors(), c.LastError())
+	}
+}

@@ -1,0 +1,178 @@
+// Package vfs implements the grid virtual file system of the paper's
+// data-management layer (the PUNCH virtual file system, PVFS): an
+// NFS-style block protocol between per-session client proxies and file
+// servers, with client-side caching and prefetching. It is what lets a
+// VM's state live on an image server in one administrative domain while
+// the VM runs in another — on-demand block transfer instead of
+// whole-file staging.
+//
+// Three transports cover the paper's configurations:
+//
+//   - NetTransport over a LAN (data sessions between VMs, Figure 2)
+//   - NetTransport over a WAN (image sessions across universities, Table 1)
+//   - LoopbackTransport (Table 2's "LoopbackNFS" rows: an NFS mount of
+//     the local host, exercising the RPC stack without a wire)
+package vfs
+
+import (
+	"errors"
+	"fmt"
+
+	"vmgrid/internal/netsim"
+	"vmgrid/internal/sim"
+	"vmgrid/internal/storage"
+)
+
+// ErrUnknownFile is returned (asynchronously) for reads of files the
+// server does not export.
+var ErrUnknownFile = errors.New("vfs: unknown file")
+
+// rpcHeaderBytes approximates the on-wire size of request/response
+// framing (RPC + NFS + TCP headers).
+const rpcHeaderBytes = 160
+
+// Server exports a store's files to clients.
+type Server struct {
+	store *storage.Store
+	// procCost is the server-side CPU cost of fielding one RPC.
+	procCost sim.Duration
+	ops      uint64
+}
+
+// NewServer exports all files of store.
+func NewServer(store *storage.Store) *Server {
+	return &Server{store: store, procCost: 150 * sim.Microsecond}
+}
+
+// Store returns the exported store.
+func (s *Server) Store() *storage.Store { return s.store }
+
+// Ops returns the number of RPCs served.
+func (s *Server) Ops() uint64 { return s.ops }
+
+// handleRead services one read RPC: check the export, fetch the range
+// from the server's disk (sequential, as the kernel readahead would),
+// and respond.
+func (s *Server) handleRead(file string, off, size int64, respond func(err error)) {
+	s.ops++
+	k := s.store.Host().Kernel()
+	f, err := s.store.Open(file)
+	if err != nil {
+		k.After(s.procCost, func() { respond(fmt.Errorf("%w: %s", ErrUnknownFile, file)) })
+		return
+	}
+	k.After(s.procCost, func() {
+		f.Read(off, size, func() { respond(nil) })
+	})
+}
+
+// handleWrite services one write RPC.
+func (s *Server) handleWrite(file string, off, size int64, respond func(err error)) {
+	s.ops++
+	k := s.store.Host().Kernel()
+	f, err := s.store.OpenOrCreate(file)
+	if err != nil {
+		k.After(s.procCost, func() { respond(err) })
+		return
+	}
+	k.After(s.procCost, func() {
+		f.Write(off, size, func() { respond(nil) })
+	})
+}
+
+// Transport carries RPCs from a client proxy to a server.
+type Transport interface {
+	// Read requests [off, off+size) of file; done receives the server's
+	// error (nil on success) once the data has arrived back.
+	Read(file string, off, size int64, done func(error))
+	// Write sends [off, off+size) of file; done receives the ack.
+	Write(file string, off, size int64, done func(error))
+}
+
+// NetTransport carries RPCs across a simulated network.
+type NetTransport struct {
+	net    *netsim.Network
+	client string
+	server string
+	srv    *Server
+}
+
+var _ Transport = (*NetTransport)(nil)
+
+// NewNetTransport connects a client node to a server node. Both names
+// must exist in the network, and srv's store should live on the machine
+// the server node represents.
+func NewNetTransport(net *netsim.Network, clientNode, serverNode string, srv *Server) (*NetTransport, error) {
+	if net.Node(clientNode) == nil || net.Node(serverNode) == nil {
+		return nil, fmt.Errorf("vfs: transport %s->%s: unknown node", clientNode, serverNode)
+	}
+	return &NetTransport{net: net, client: clientNode, server: serverNode, srv: srv}, nil
+}
+
+// Read implements Transport.
+func (t *NetTransport) Read(file string, off, size int64, done func(error)) {
+	err := t.net.Send(t.client, t.server, rpcHeaderBytes, nil, func(any) {
+		t.srv.handleRead(file, off, size, func(srvErr error) {
+			if sendErr := t.net.Send(t.server, t.client, size+rpcHeaderBytes, nil, func(any) {
+				done(srvErr)
+			}); sendErr != nil {
+				done(sendErr)
+			}
+		})
+	})
+	if err != nil {
+		done(err)
+	}
+}
+
+// Write implements Transport.
+func (t *NetTransport) Write(file string, off, size int64, done func(error)) {
+	err := t.net.Send(t.client, t.server, size+rpcHeaderBytes, nil, func(any) {
+		t.srv.handleWrite(file, off, size, func(srvErr error) {
+			if sendErr := t.net.Send(t.server, t.client, rpcHeaderBytes, nil, func(any) {
+				done(srvErr)
+			}); sendErr != nil {
+				done(sendErr)
+			}
+		})
+	})
+	if err != nil {
+		done(err)
+	}
+}
+
+// LoopbackTransport is an NFS mount of the local machine: RPCs traverse
+// the network stack (client and server side CPU) but no wire. This is
+// Table 2's "LoopbackNFS" configuration, which the paper uses to isolate
+// the NFS/RPC stack cost from network cost.
+type LoopbackTransport struct {
+	k   *sim.Kernel
+	srv *Server
+	// StackLatency is the one-way stack traversal cost.
+	StackLatency sim.Duration
+}
+
+var _ Transport = (*LoopbackTransport)(nil)
+
+// NewLoopbackTransport wraps srv behind a local RPC stack.
+func NewLoopbackTransport(k *sim.Kernel, srv *Server) *LoopbackTransport {
+	return &LoopbackTransport{k: k, srv: srv, StackLatency: sim.Millisecond}
+}
+
+// Read implements Transport.
+func (t *LoopbackTransport) Read(file string, off, size int64, done func(error)) {
+	t.k.After(t.StackLatency, func() {
+		t.srv.handleRead(file, off, size, func(err error) {
+			t.k.After(t.StackLatency, func() { done(err) })
+		})
+	})
+}
+
+// Write implements Transport.
+func (t *LoopbackTransport) Write(file string, off, size int64, done func(error)) {
+	t.k.After(t.StackLatency, func() {
+		t.srv.handleWrite(file, off, size, func(err error) {
+			t.k.After(t.StackLatency, func() { done(err) })
+		})
+	})
+}

@@ -1,0 +1,114 @@
+package vfs
+
+import (
+	"testing"
+
+	"vmgrid/internal/sim"
+)
+
+func TestWriteBackAcksBeforeServer(t *testing.T) {
+	w := newWorld(t, true) // WAN: server ack takes ≥ 28 ms
+	tr, _ := NewNetTransport(w.net, "client", "server", w.server)
+	c, _ := NewClient(w.k, tr, WANConfig())
+	f := c.Open("out", 0)
+	var ackAt sim.Time = -1
+	f.Write(0, 64<<10, func() { ackAt = w.k.Now() })
+	_ = w.k.RunUntil(sim.Time(5 * sim.Millisecond))
+	if ackAt < 0 {
+		t.Fatal("buffered write not acknowledged promptly")
+	}
+	if c.DirtyBytes() == 0 {
+		t.Fatal("no dirty data while the RPC is in flight")
+	}
+	w.k.Run()
+	if c.DirtyBytes() != 0 {
+		t.Errorf("dirty = %d after drain", c.DirtyBytes())
+	}
+	if !w.sstore.Has("out") {
+		t.Error("write never reached the server")
+	}
+}
+
+func TestWriteBackThrottlesBeyondMaxDirty(t *testing.T) {
+	w := newWorld(t, true)
+	tr, _ := NewNetTransport(w.net, "client", "server", w.server)
+	cfg := WANConfig()
+	cfg.MaxDirty = 256 << 10
+	c, _ := NewClient(w.k, tr, cfg)
+	f := c.Open("out", 0)
+
+	acks := 0
+	for i := 0; i < 8; i++ {
+		f.Write(int64(i)*(128<<10), 128<<10, func() { acks++ })
+	}
+	_ = w.k.RunUntil(sim.Time(2 * sim.Millisecond))
+	if acks >= 8 {
+		t.Fatalf("all %d writes acked instantly despite a 256 KB bound", acks)
+	}
+	w.k.Run()
+	if acks != 8 {
+		t.Fatalf("only %d/8 writes ever acked", acks)
+	}
+}
+
+func TestFlushWaitsForDrain(t *testing.T) {
+	w := newWorld(t, true)
+	tr, _ := NewNetTransport(w.net, "client", "server", w.server)
+	c, _ := NewClient(w.k, tr, WANConfig())
+	f := c.Open("out", 0)
+	f.Write(0, 1<<20, nil)
+	var flushAt sim.Time = -1
+	c.Flush(func() { flushAt = w.k.Now() })
+	_ = w.k.RunUntil(sim.Time(5 * sim.Millisecond))
+	if flushAt >= 0 {
+		t.Fatal("flush completed with dirty data outstanding")
+	}
+	w.k.Run()
+	if flushAt < 0 {
+		t.Fatal("flush never completed")
+	}
+	// A clean flush completes immediately.
+	immediate := false
+	c.Flush(func() { immediate = true })
+	w.k.Run()
+	if !immediate {
+		t.Error("clean flush did not complete")
+	}
+	c.Flush(nil) // nil callback is a no-op
+}
+
+func TestWriteThroughWhenWriteBackDisabled(t *testing.T) {
+	w := newWorld(t, true)
+	tr, _ := NewNetTransport(w.net, "client", "server", w.server)
+	cfg := WANConfig()
+	cfg.WriteBack = false
+	c, _ := NewClient(w.k, tr, cfg)
+	f := c.Open("out", 0)
+	var ackAt sim.Time = -1
+	f.Write(0, 64<<10, func() { ackAt = w.k.Now() })
+	w.k.Run()
+	if ackAt < sim.Time(28*sim.Millisecond) {
+		t.Errorf("write-through acked at %v, before the WAN round trip", ackAt)
+	}
+	if c.DirtyBytes() != 0 {
+		t.Error("write-through left dirty bytes")
+	}
+}
+
+func TestWriteBackConfigValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	cfg := LANConfig()
+	cfg.MaxDirty = -1
+	if _, err := NewClient(k, nil, cfg); err == nil {
+		t.Error("negative MaxDirty accepted")
+	}
+	cfg = LANConfig()
+	cfg.MaxDirty = 0 // default kicks in
+	c, err := NewClient(k, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.MaxDirty == 0 {
+		t.Error("MaxDirty default not applied")
+	}
+}

@@ -1,0 +1,175 @@
+package vmm
+
+import (
+	"math"
+	"testing"
+
+	"vmgrid/internal/guest"
+	"vmgrid/internal/hostos"
+	"vmgrid/internal/hw"
+	"vmgrid/internal/sim"
+	"vmgrid/internal/storage"
+)
+
+// runWithCost measures the elapsed time of a workload on a VM with the
+// given cost model.
+func runWithCost(t *testing.T, cost CostModel, w guest.Workload) float64 {
+	t.Helper()
+	k := sim.NewKernel(1)
+	h, err := hostos.New(k, hw.ReferenceMachine("host"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := storage.NewStore(h)
+	img := storage.ImageInfo{Name: "img", OS: "rh", DiskBytes: hw.GB, MemBytes: 128 * hw.MB}
+	if err := storage.InstallImage(s, img); err != nil {
+		t.Fatal(err)
+	}
+	base, _ := s.Open(img.DiskFile())
+	diff, _ := s.OpenOrCreate("d.cow")
+	mem, _ := s.Open(img.MemFile())
+	vm, err := New(h, Config{
+		Name: "vm", MemBytes: 128 * hw.MB,
+		Disk: storage.NewCowDisk(base, diff), MemImage: mem,
+		Cost: cost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elapsed float64
+	if err := vm.Start(WarmRestore, func(err error) {
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := vm.Guest().Run(w, func(r guest.TaskResult) {
+			elapsed = r.Elapsed().Seconds()
+		}); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if elapsed == 0 {
+		t.Fatal("workload never finished")
+	}
+	return elapsed
+}
+
+// TestOverheadScalesWithTrapCost is the cost-model sensitivity check the
+// design calls for: doubling the per-trap cost roughly doubles the
+// trap-attributable overhead.
+func TestOverheadScalesWithTrapCost(t *testing.T) {
+	w := guest.Workload{Name: "sys-heavy", CPUSeconds: 100, PrivPerSec: 5000}
+
+	base := DefaultCostModel()
+	base.TimerExtra = 0 // isolate the trap term
+	doubled := base
+	doubled.TrapExtra *= 2
+
+	t0 := runWithCost(t, base, w)
+	t1 := runWithCost(t, doubled, w)
+	ovh0 := t0 - 100*(1+5000*guest.NativeCost.Seconds())
+	ovh1 := t1 - 100*(1+5000*guest.NativeCost.Seconds())
+	if ovh0 <= 0 || ovh1 <= 0 {
+		t.Fatalf("overheads: %v, %v", ovh0, ovh1)
+	}
+	if ratio := ovh1 / ovh0; ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("doubling TrapExtra scaled overhead by %.2f, want ~2", ratio)
+	}
+}
+
+func TestMemTrapCostOnlyHitsMemoryWorkloads(t *testing.T) {
+	memHeavy := guest.Workload{Name: "mem", CPUSeconds: 100, MemVirtPerSec: 8000}
+	syscallFree := guest.Workload{Name: "pure", CPUSeconds: 100}
+
+	base := DefaultCostModel()
+	bigMem := base
+	bigMem.MemTrapExtra *= 4
+
+	dMem := runWithCost(t, bigMem, memHeavy) - runWithCost(t, base, memHeavy)
+	dPure := runWithCost(t, bigMem, syscallFree) - runWithCost(t, base, syscallFree)
+	if dMem <= 0.5 {
+		t.Errorf("memory workload insensitive to MemTrapExtra: Δ=%v", dMem)
+	}
+	if math.Abs(dPure) > 0.05 {
+		t.Errorf("pure-CPU workload affected by MemTrapExtra: Δ=%v", dPure)
+	}
+}
+
+func TestZeroExtraCostModelApproachesNative(t *testing.T) {
+	// With all virtualization costs zeroed, the VM should run within a
+	// whisker of native speed — the model has no hidden flat tax.
+	free := CostModel{
+		GuestQuantum: 10 * sim.Millisecond,
+		InitWork:     0.01,
+		TimerRate:    100,
+	}
+	w := guest.MicroTask(50)
+	vmTime := runWithCost(t, free, w)
+
+	k := sim.NewKernel(1)
+	h, _ := hostos.New(k, hw.ReferenceMachine("host"))
+	os := guest.NewOS(guest.NewNativeCPU(h.Spawn("t")))
+	os.MarkBooted()
+	var native float64
+	if _, err := os.Run(w, func(r guest.TaskResult) { native = r.Elapsed().Seconds() }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+
+	if ratio := vmTime / native; ratio > 1.002 {
+		t.Errorf("zero-cost VM still %.4fx native", ratio)
+	}
+}
+
+func TestWorldSwitchCostOnlyUnderContention(t *testing.T) {
+	w := guest.MicroTask(60)
+
+	base := DefaultCostModel()
+	bigWS := base
+	bigWS.WorldSwitch *= 10
+
+	// Unloaded: world-switch cost must not matter.
+	d := runWithCost(t, bigWS, w) - runWithCost(t, base, w)
+	if math.Abs(d) > 0.05 {
+		t.Errorf("world-switch cost charged on an idle host: Δ=%v", d)
+	}
+
+	// Contended: it must.
+	contended := func(cost CostModel) float64 {
+		k := sim.NewKernel(1)
+		h, _ := hostos.New(k, hw.ReferenceMachine("host"))
+		hog := h.Spawn("hog")
+		hog.SetDemand(1)
+		s := storage.NewStore(h)
+		img := storage.ImageInfo{Name: "img", OS: "rh", DiskBytes: hw.GB, MemBytes: 128 * hw.MB}
+		if err := storage.InstallImage(s, img); err != nil {
+			t.Fatal(err)
+		}
+		base2, _ := s.Open(img.DiskFile())
+		diff, _ := s.OpenOrCreate("d.cow")
+		mem, _ := s.Open(img.MemFile())
+		vm, err := New(h, Config{Name: "vm", MemBytes: 128 * hw.MB,
+			Disk: storage.NewCowDisk(base2, diff), MemImage: mem, Cost: cost})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var elapsed float64
+		if err := vm.Start(WarmRestore, func(error) {
+			if _, err := vm.Guest().Run(w, func(r guest.TaskResult) {
+				elapsed = r.Elapsed().Seconds()
+			}); err != nil {
+				t.Error(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		_ = k.RunUntil(sim.Time(sim.Hour))
+		return elapsed
+	}
+	if d := contended(bigWS) - contended(base); d <= 0.1 {
+		t.Errorf("world-switch cost invisible under contention: Δ=%v", d)
+	}
+}

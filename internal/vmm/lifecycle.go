@@ -1,0 +1,189 @@
+package vmm
+
+import (
+	"fmt"
+
+	"vmgrid/internal/guest"
+)
+
+// StartMode selects how a VM comes up.
+type StartMode int
+
+// Start modes, matching Table 2's two instantiation paths.
+const (
+	// ColdBoot boots the guest OS from the virtual disk ("VM-reboot").
+	ColdBoot StartMode = iota + 1
+	// WarmRestore loads a saved memory image and resumes the guest from
+	// its post-boot state ("VM-restore").
+	WarmRestore
+)
+
+// String names the mode.
+func (m StartMode) String() string {
+	switch m {
+	case ColdBoot:
+		return "reboot"
+	case WarmRestore:
+		return "restore"
+	default:
+		return fmt.Sprintf("StartMode(%d)", int(m))
+	}
+}
+
+// restoreChunk is the unit in which the monitor pages a saved memory
+// image back in.
+const restoreChunk int64 = 1 << 20
+
+// Start brings the VM up. done receives nil once the guest is running
+// (booted or resumed). Start returns an error immediately if the VM is
+// not freshly created or lacks the needed state files.
+func (vm *VM) Start(mode StartMode, done func(error)) error {
+	if vm.state != StateCreated && vm.state != StateOff && vm.state != StateSuspended {
+		return fmt.Errorf("%w: start in %v", ErrBadState, vm.state)
+	}
+	if vm.cfg.Disk == nil {
+		return ErrNoDisk
+	}
+	if mode == WarmRestore && vm.cfg.MemImage == nil {
+		return ErrNoMemImg
+	}
+
+	finish := func(err error) {
+		if err == nil {
+			vm.state = StateRunning
+		} else {
+			vm.state = StateOff
+		}
+		vm.updateDemand()
+		vm.recompute()
+		if done != nil {
+			done(err)
+		}
+	}
+
+	// Phase 1: the monitor process itself starts up (CPU work on the
+	// host, so a loaded host starts VMs slower).
+	vm.state = StateInitializing
+	vm.updateDemand()
+	vm.proc.RunWork(vm.cost.InitWork, func() {
+		// Re-register the rate hook that RunWork cleared.
+		vm.proc.OnRate(func(float64) { vm.recompute() })
+		switch mode {
+		case ColdBoot:
+			vm.state = StateBooting
+			vm.updateDemand()
+			vm.recompute()
+			if err := vm.os.Boot(guest.DefaultBoot(), finish); err != nil {
+				finish(fmt.Errorf("vmm %q: %w", vm.cfg.Name, err))
+			}
+		case WarmRestore:
+			vm.state = StateRestoring
+			vm.updateDemand()
+			vm.recompute()
+			vm.readMemImage(0, func() {
+				vm.os.MarkBooted()
+				if err := vm.os.ResumeWarm(guest.DefaultResume(), finish); err != nil {
+					finish(fmt.Errorf("vmm %q: %w", vm.cfg.Name, err))
+				}
+			})
+		default:
+			finish(fmt.Errorf("vmm %q: unknown start mode %v", vm.cfg.Name, mode))
+		}
+	})
+	return nil
+}
+
+// readMemImage streams the saved memory image back in, chunk by chunk,
+// through whatever backend holds it (local file or grid virtual file
+// system).
+func (vm *VM) readMemImage(off int64, done func()) {
+	size := vm.cfg.MemBytes
+	if off >= size {
+		done()
+		return
+	}
+	n := restoreChunk
+	if off+n > size {
+		n = size - off
+	}
+	vm.cfg.MemImage.ReadSequential(off, n, func() {
+		vm.readMemImage(off+n, done)
+	})
+}
+
+// Suspend checkpoints the running guest: its memory is written to the
+// memory image backend and the VM stops consuming CPU. The guest's task
+// state is preserved in place, so a later Start(WarmRestore) — possibly
+// on another host after the state files are transferred — continues the
+// computation.
+func (vm *VM) Suspend(done func(error)) error {
+	if vm.state != StateRunning {
+		return fmt.Errorf("%w: suspend in %v", ErrBadState, vm.state)
+	}
+	if vm.cfg.MemImage == nil {
+		return ErrNoMemImg
+	}
+	vm.state = StateSuspending
+	vm.updateDemand()
+	vm.recompute() // freezes guest tasks at rate 0
+	vm.writeMemImage(0, func() {
+		vm.state = StateSuspended
+		vm.updateDemand()
+		if done != nil {
+			done(nil)
+		}
+	})
+	return nil
+}
+
+func (vm *VM) writeMemImage(off int64, done func()) {
+	size := vm.cfg.MemBytes
+	if off >= size {
+		done()
+		return
+	}
+	n := restoreChunk
+	if off+n > size {
+		n = size - off
+	}
+	vm.cfg.MemImage.Write(off, n, func() {
+		vm.writeMemImage(off+n, done)
+	})
+}
+
+// Unpause resumes a suspended VM in place (no memory image read: the
+// pages are still resident). For cross-host resume use Start(WarmRestore)
+// on a new VM that adopted the guest.
+func (vm *VM) Unpause() error {
+	if vm.state != StateSuspended {
+		return fmt.Errorf("%w: unpause in %v", ErrBadState, vm.state)
+	}
+	vm.state = StateRunning
+	vm.updateDemand()
+	vm.recompute()
+	return nil
+}
+
+// PowerOff stops the VM. Guest state is abandoned (non-persistent
+// sessions discard their COW diff at this point).
+func (vm *VM) PowerOff() {
+	vm.state = StateOff
+	vm.updateDemand()
+	vm.recompute()
+}
+
+// AdoptGuest replaces the VM's guest OS with one carried over from
+// another VM — the memory-state half of migration. The guest's CPU
+// provider is rebound to this VM; its mounts and task state come along.
+// Valid only before the VM starts.
+func (vm *VM) AdoptGuest(os *guest.OS) error {
+	if vm.state != StateCreated {
+		return fmt.Errorf("%w: adopt guest in %v", ErrBadState, vm.state)
+	}
+	vm.os = os
+	os.Rebind(vm)
+	if vm.cfg.Disk != nil {
+		os.Mount("root", vm.cfg.Disk)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client talks to a vmgridd server over TCP.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	reader *bufio.Scanner
+	enc    *json.Encoder
+	nextID int64
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	return &Client{conn: conn, reader: scanner, enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call performs one round trip. params may be nil. The response data is
+// unmarshaled into out when out is non-nil.
+func (c *Client) Call(op string, params any, out any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req := Request{ID: c.nextID, Op: op}
+	if params != nil {
+		raw, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("wire: params: %w", err)
+		}
+		req.Params = raw
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return fmt.Errorf("wire: send: %w", err)
+	}
+	if !c.reader.Scan() {
+		if err := c.reader.Err(); err != nil {
+			return fmt.Errorf("wire: recv: %w", err)
+		}
+		return fmt.Errorf("wire: connection closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.reader.Bytes(), &resp); err != nil {
+		return fmt.Errorf("wire: bad response: %w", err)
+	}
+	if resp.ID != req.ID {
+		return fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("wire: server: %s", resp.Error)
+	}
+	if out != nil {
+		if err := json.Unmarshal(resp.Data, out); err != nil {
+			return fmt.Errorf("wire: response data: %w", err)
+		}
+	}
+	return nil
+}
+
+// Convenience wrappers for the common operations.
+
+// AddNode attaches a node to the served grid.
+func (c *Client) AddNode(p AddNodeParams) error { return c.Call("add-node", p, nil) }
+
+// Connect links two nodes.
+func (c *Client) Connect(a, b, kind string) error {
+	return c.Call("connect", ConnectParams{A: a, B: b, Kind: kind}, nil)
+}
+
+// InstallImage installs an image on a node.
+func (c *Client) InstallImage(p InstallImageParams) error { return c.Call("install-image", p, nil) }
+
+// CreateData provisions user data on a node.
+func (c *Client) CreateData(p CreateDataParams) error { return c.Call("create-data", p, nil) }
+
+// NewSession starts a VM session and waits for it to be ready.
+func (c *Client) NewSession(p SessionParams) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.Call("new-session", p, &info)
+	return info, err
+}
+
+// Run executes a workload in a session and waits for completion.
+func (c *Client) Run(p RunParams) (RunResult, error) {
+	var res RunResult
+	err := c.Call("run", p, &res)
+	return res, err
+}
+
+// Migrate moves a session to another node.
+func (c *Client) Migrate(session, target string) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.Call("migrate", MigrateParams{Session: session, Target: target}, &info)
+	return info, err
+}
+
+// Hibernate checkpoints a session.
+func (c *Client) Hibernate(session string) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.Call("hibernate", SessionRef{Session: session}, &info)
+	return info, err
+}
+
+// Wake resumes a hibernated session.
+func (c *Client) Wake(session string) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.Call("wake", SessionRef{Session: session}, &info)
+	return info, err
+}
+
+// Shutdown ends a session.
+func (c *Client) Shutdown(session string) error {
+	return c.Call("shutdown", SessionRef{Session: session}, nil)
+}
+
+// Usage fetches a session's metered consumption.
+func (c *Client) Usage(session string) (UsageInfo, error) {
+	var u UsageInfo
+	err := c.Call("usage", SessionRef{Session: session}, &u)
+	return u, err
+}
+
+// Query lists information-service records of a kind.
+func (c *Client) Query(kind string) ([]QueryEntry, error) {
+	var entries []QueryEntry
+	err := c.Call("query", QueryParams{Kind: kind}, &entries)
+	return entries, err
+}
+
+// Status fetches the fabric summary.
+func (c *Client) Status() (StatusInfo, error) {
+	var st StatusInfo
+	err := c.Call("status", nil, &st)
+	return st, err
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	var pong string
+	if err := c.Call("ping", nil, &pong); err != nil {
+		return err
+	}
+	if pong != "pong" {
+		return fmt.Errorf("wire: unexpected ping reply %q", pong)
+	}
+	return nil
+}

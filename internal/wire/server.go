@@ -1,0 +1,516 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"vmgrid/internal/core"
+	"vmgrid/internal/gis"
+	"vmgrid/internal/guest"
+	"vmgrid/internal/hw"
+	"vmgrid/internal/sim"
+	"vmgrid/internal/storage"
+	"vmgrid/internal/vmm"
+)
+
+// Server wraps a grid behind a TCP line protocol.
+type Server struct {
+	mu       sync.Mutex
+	grid     *core.Grid
+	sessions map[string]*core.Session
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// NewServer creates a server around a fresh grid seeded with seed.
+func NewServer(seed uint64) *Server {
+	return &Server{
+		grid:     core.NewGrid(seed),
+		sessions: make(map[string]*core.Session),
+		closed:   make(chan struct{}),
+	}
+}
+
+// Grid exposes the underlying grid (for in-process composition).
+func (s *Server) Grid() *core.Grid { return s.grid }
+
+// Serve starts accepting connections on addr ("host:port"; ":0" picks a
+// free port). It returns immediately; use Addr for the bound address and
+// Close to stop.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s.listener = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Serve).
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Close stops the listener and waits for connection handlers to finish.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			resp.Error = fmt.Sprintf("bad request: %v", err)
+		} else {
+			resp = s.dispatch(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
+	}
+}
+
+// dispatch runs one operation under the grid lock.
+func (s *Server) dispatch(req Request) Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := s.handle(req.Op, req.Params)
+	resp := Response{ID: req.ID, Data: data}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	return resp
+}
+
+// pumpUntil drives the simulation until stop() reports true or the
+// virtual budget is exhausted.
+func (s *Server) pumpUntil(budget sim.Duration, stop func() bool) error {
+	k := s.grid.Kernel()
+	deadline := k.Now().Add(budget)
+	for !stop() {
+		if k.Now() >= deadline {
+			return fmt.Errorf("wire: operation exceeded %v of virtual time", budget)
+		}
+		if err := k.RunUntil(k.Now().Add(sim.Second)); err != nil && !stop() {
+			// Queue drained with the condition unmet: nothing further
+			// can change.
+			if errors.Is(err, sim.ErrStalled) {
+				return errors.New("wire: simulation idle before operation completed")
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) handle(op string, params json.RawMessage) (json.RawMessage, error) {
+	switch op {
+	case "ping":
+		return marshal("pong")
+
+	case "add-node":
+		p, err := unmarshal[AddNodeParams](params)
+		if err != nil {
+			return nil, err
+		}
+		var role core.Role
+		for _, r := range p.Roles {
+			switch r {
+			case "compute":
+				role |= core.RoleCompute
+			case "image-server":
+				role |= core.RoleImageServer
+			case "data-server":
+				role |= core.RoleDataServer
+			case "front-end":
+				role |= core.RoleFrontEnd
+			default:
+				return nil, fmt.Errorf("wire: unknown role %q", r)
+			}
+		}
+		_, err = s.grid.AddNode(core.NodeConfig{
+			Name: p.Name, Site: p.Site, Role: role,
+			Slots: p.Slots, DHCPPrefix: p.DHCPPrefix,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return marshal("ok")
+
+	case "connect":
+		p, err := unmarshal[ConnectParams](params)
+		if err != nil {
+			return nil, err
+		}
+		switch p.Kind {
+		case "lan", "":
+			err = s.grid.Net().ConnectLAN(p.A, p.B)
+		case "wan":
+			err = s.grid.Net().ConnectWAN(p.A, p.B)
+		default:
+			return nil, fmt.Errorf("wire: unknown link kind %q", p.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return marshal("ok")
+
+	case "install-image":
+		p, err := unmarshal[InstallImageParams](params)
+		if err != nil {
+			return nil, err
+		}
+		node := s.grid.Node(p.Node)
+		if node == nil {
+			return nil, fmt.Errorf("wire: unknown node %q", p.Node)
+		}
+		if p.DiskBytes == 0 {
+			p.DiskBytes = 2 * hw.GB
+		}
+		if err := node.InstallImage(storage.ImageInfo{
+			Name: p.Name, OS: p.OS, DiskBytes: p.DiskBytes, MemBytes: p.MemBytes,
+		}); err != nil {
+			return nil, err
+		}
+		return marshal("ok")
+
+	case "create-data":
+		p, err := unmarshal[CreateDataParams](params)
+		if err != nil {
+			return nil, err
+		}
+		node := s.grid.Node(p.Node)
+		if node == nil {
+			return nil, fmt.Errorf("wire: unknown node %q", p.Node)
+		}
+		if err := node.CreateUserData(p.File, p.Bytes); err != nil {
+			return nil, err
+		}
+		return marshal("ok")
+
+	case "new-session":
+		p, err := unmarshal[SessionParams](params)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := sessionConfig(p)
+		if err != nil {
+			return nil, err
+		}
+		var sess *core.Session
+		var sessErr error
+		done := false
+		if _, err := s.grid.NewSession(cfg, func(ss *core.Session, err error) {
+			sess, sessErr, done = ss, err, true
+		}); err != nil {
+			return nil, err
+		}
+		if err := s.pumpUntil(4*sim.Hour, func() bool { return done }); err != nil {
+			return nil, err
+		}
+		if sessErr != nil {
+			return nil, sessErr
+		}
+		s.sessions[sess.Name()] = sess
+		return marshal(sessionInfo(sess))
+
+	case "run":
+		p, err := unmarshal[RunParams](params)
+		if err != nil {
+			return nil, err
+		}
+		sess, ok := s.sessions[p.Session]
+		if !ok {
+			return nil, fmt.Errorf("wire: unknown session %q", p.Session)
+		}
+		w := guest.Workload{
+			Name: p.Name, CPUSeconds: p.CPUSeconds,
+			PrivPerSec: p.PrivPerSec, MemVirtPerSec: p.MemVirtPerSec,
+			Reads: p.Reads, ReadBytes: p.ReadBytes, Mount: p.Mount,
+			RootOps: p.RootOps, RootBytes: p.RootBytes,
+		}
+		var res guest.TaskResult
+		done := false
+		if err := sess.Run(w, func(r guest.TaskResult) { res = r; done = true }); err != nil {
+			return nil, err
+		}
+		if err := s.pumpUntil(100*sim.Hour, func() bool { return done }); err != nil {
+			return nil, err
+		}
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		return marshal(RunResult{
+			Name:       w.Name,
+			ElapsedSec: res.Elapsed().Seconds(),
+			UserSec:    res.UserSeconds,
+			SysSec:     res.SysSeconds(),
+			Reads:      res.Reads,
+			IOWaitSec:  res.IOWait.Seconds(),
+		})
+
+	case "migrate":
+		p, err := unmarshal[MigrateParams](params)
+		if err != nil {
+			return nil, err
+		}
+		sess, ok := s.sessions[p.Session]
+		if !ok {
+			return nil, fmt.Errorf("wire: unknown session %q", p.Session)
+		}
+		var migErr error
+		done := false
+		if err := sess.Migrate(p.Target, func(err error) { migErr = err; done = true }); err != nil {
+			return nil, err
+		}
+		if err := s.pumpUntil(4*sim.Hour, func() bool { return done }); err != nil {
+			return nil, err
+		}
+		if migErr != nil {
+			return nil, migErr
+		}
+		return marshal(sessionInfo(sess))
+
+	case "hibernate":
+		p, err := unmarshal[SessionRef](params)
+		if err != nil {
+			return nil, err
+		}
+		sess, ok := s.sessions[p.Session]
+		if !ok {
+			return nil, fmt.Errorf("wire: unknown session %q", p.Session)
+		}
+		var hErr error
+		done := false
+		if err := sess.Hibernate(func(err error) { hErr = err; done = true }); err != nil {
+			return nil, err
+		}
+		if err := s.pumpUntil(sim.Hour, func() bool { return done }); err != nil {
+			return nil, err
+		}
+		if hErr != nil {
+			return nil, hErr
+		}
+		return marshal(sessionInfo(sess))
+
+	case "wake":
+		p, err := unmarshal[SessionRef](params)
+		if err != nil {
+			return nil, err
+		}
+		sess, ok := s.sessions[p.Session]
+		if !ok {
+			return nil, fmt.Errorf("wire: unknown session %q", p.Session)
+		}
+		var wErr error
+		done := false
+		if err := sess.Wake(func(err error) { wErr = err; done = true }); err != nil {
+			return nil, err
+		}
+		if err := s.pumpUntil(sim.Hour, func() bool { return done }); err != nil {
+			return nil, err
+		}
+		if wErr != nil {
+			return nil, wErr
+		}
+		return marshal(sessionInfo(sess))
+
+	case "shutdown":
+		p, err := unmarshal[SessionRef](params)
+		if err != nil {
+			return nil, err
+		}
+		sess, ok := s.sessions[p.Session]
+		if !ok {
+			return nil, fmt.Errorf("wire: unknown session %q", p.Session)
+		}
+		sess.Shutdown()
+		delete(s.sessions, p.Session)
+		return marshal("ok")
+
+	case "usage":
+		p, err := unmarshal[SessionRef](params)
+		if err != nil {
+			return nil, err
+		}
+		sess, ok := s.sessions[p.Session]
+		if !ok {
+			return nil, fmt.Errorf("wire: unknown session %q", p.Session)
+		}
+		u := sess.Usage()
+		return marshal(UsageInfo{
+			Session:           sess.Name(),
+			CPUSeconds:        u.CPUSeconds,
+			GuestUserSeconds:  u.GuestUserSeconds,
+			Efficiency:        u.Efficiency(),
+			DiffBytes:         u.DiffBytes,
+			ImageBytesFetched: u.ImageBytesFetched,
+			DataBytesFetched:  u.DataBytesFetched,
+			WallSeconds:       u.WallSeconds,
+		})
+
+	case "query":
+		p, err := unmarshal[QueryParams](params)
+		if err != nil {
+			return nil, err
+		}
+		entries := s.grid.Info().Select(gis.Kind(p.Kind), nil)
+		out := make([]QueryEntry, 0, len(entries))
+		for _, e := range entries {
+			out = append(out, QueryEntry{Kind: string(e.Kind), Name: e.Name, Attrs: e.Attrs})
+		}
+		return marshal(out)
+
+	case "status":
+		return marshal(s.status())
+
+	default:
+		return nil, fmt.Errorf("wire: unknown op %q", op)
+	}
+}
+
+func sessionConfig(p SessionParams) (core.SessionConfig, error) {
+	cfg := core.SessionConfig{
+		User: p.User, FrontEnd: p.FrontEnd, Image: p.Image,
+		Site: p.Site, DataNode: p.DataNode, DataFile: p.DataFile,
+		HomeNode: p.HomeNode,
+	}
+	switch p.Mode {
+	case "reboot", "":
+		cfg.Mode = vmm.ColdBoot
+	case "restore":
+		cfg.Mode = vmm.WarmRestore
+	default:
+		return cfg, fmt.Errorf("wire: unknown mode %q", p.Mode)
+	}
+	switch p.Disk {
+	case "non-persistent", "":
+		cfg.Disk = core.NonPersistent
+	case "persistent":
+		cfg.Disk = core.Persistent
+	default:
+		return cfg, fmt.Errorf("wire: unknown disk policy %q", p.Disk)
+	}
+	switch p.Access {
+	case "local", "":
+		cfg.Access = core.AccessLocal
+	case "loopback":
+		cfg.Access = core.AccessLoopback
+	case "on-demand":
+		cfg.Access = core.AccessOnDemand
+	case "staged":
+		cfg.Access = core.AccessStaged
+	default:
+		return cfg, fmt.Errorf("wire: unknown access %q", p.Access)
+	}
+	return cfg, nil
+}
+
+func sessionInfo(sess *core.Session) SessionInfo {
+	info := SessionInfo{
+		Name:        sess.Name(),
+		State:       sess.State(),
+		Addr:        sess.Addr(),
+		ImageServer: sess.ImageServer(),
+		LocalUser:   sess.LocalUser(),
+		Events:      map[string]float64{},
+	}
+	if sess.Node() != nil {
+		info.Node = sess.Node().Name()
+		info.Console = sess.Console()
+	}
+	for _, e := range sess.Events() {
+		info.Events[e.Step] = e.At.Seconds()
+	}
+	if ready, sub := sess.EventAt("ready"), sess.EventAt("submitted"); ready >= 0 && sub >= 0 {
+		info.StartupSec = ready.Sub(sub).Seconds()
+	}
+	return info
+}
+
+func (s *Server) status() StatusInfo {
+	st := StatusInfo{VirtualSec: s.grid.Kernel().Now().Seconds()}
+	var names []string
+	for _, e := range s.grid.Info().Select(gis.KindHost, nil) {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := s.grid.Node(name)
+		if n == nil {
+			continue
+		}
+		st.Nodes = append(st.Nodes, NodeInfo{
+			Name:     n.Name(),
+			Site:     n.Site(),
+			Slots:    n.Slots(),
+			Runnable: n.Host().Runnable(),
+			Files:    n.Store().Files(),
+		})
+	}
+	var sessNames []string
+	for name := range s.sessions {
+		sessNames = append(sessNames, name)
+	}
+	sort.Strings(sessNames)
+	for _, name := range sessNames {
+		st.Sessions = append(st.Sessions, sessionInfo(s.sessions[name]))
+	}
+	return st
+}

@@ -1,0 +1,182 @@
+// Package wire exposes a vmgrid fabric over real TCP: a JSON
+// line-protocol server wrapping a core.Grid, and a matching client. This
+// is the deployment face of the reproduction — cmd/vmgridd serves a
+// grid, cmd/vmgridctl drives it — while the simulation kernel underneath
+// advances virtual time as operations demand.
+//
+// Every request is one JSON object on one line; every response likewise.
+// The grid is single-threaded by construction (the simulation kernel is
+// not concurrent), so the server serializes all operations.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Request is one client->server message.
+type Request struct {
+	ID     int64           `json:"id"`
+	Op     string          `json:"op"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Response is one server->client message.
+type Response struct {
+	ID    int64           `json:"id"`
+	Error string          `json:"error,omitempty"`
+	Data  json.RawMessage `json:"data,omitempty"`
+}
+
+// AddNodeParams configures the add-node op.
+type AddNodeParams struct {
+	Name       string   `json:"name"`
+	Site       string   `json:"site"`
+	Roles      []string `json:"roles"`
+	Slots      int      `json:"slots,omitempty"`
+	DHCPPrefix string   `json:"dhcpPrefix,omitempty"`
+}
+
+// ConnectParams configures the connect op.
+type ConnectParams struct {
+	A    string `json:"a"`
+	B    string `json:"b"`
+	Kind string `json:"kind"` // "lan" or "wan"
+}
+
+// InstallImageParams configures the install-image op.
+type InstallImageParams struct {
+	Node      string `json:"node"`
+	Name      string `json:"name"`
+	OS        string `json:"os"`
+	DiskBytes int64  `json:"diskBytes"`
+	MemBytes  int64  `json:"memBytes,omitempty"`
+}
+
+// CreateDataParams configures the create-data op.
+type CreateDataParams struct {
+	Node  string `json:"node"`
+	File  string `json:"file"`
+	Bytes int64  `json:"bytes"`
+}
+
+// SessionParams configures the new-session op.
+type SessionParams struct {
+	User     string `json:"user"`
+	FrontEnd string `json:"frontEnd"`
+	Image    string `json:"image"`
+	Mode     string `json:"mode"`   // "reboot" or "restore"
+	Disk     string `json:"disk"`   // "persistent" or "non-persistent"
+	Access   string `json:"access"` // "local", "loopback", "on-demand", "staged"
+	Site     string `json:"site,omitempty"`
+	DataNode string `json:"dataNode,omitempty"`
+	DataFile string `json:"dataFile,omitempty"`
+	HomeNode string `json:"homeNode,omitempty"`
+}
+
+// SessionInfo describes a session in responses.
+type SessionInfo struct {
+	Name        string             `json:"name"`
+	State       string             `json:"state"`
+	Node        string             `json:"node,omitempty"`
+	Addr        string             `json:"addr,omitempty"`
+	ImageServer string             `json:"imageServer,omitempty"`
+	LocalUser   string             `json:"localUser,omitempty"`
+	Console     string             `json:"console,omitempty"`
+	StartupSec  float64            `json:"startupSec,omitempty"`
+	Events      map[string]float64 `json:"events,omitempty"`
+}
+
+// RunParams configures the run op (workload in a session).
+type RunParams struct {
+	Session       string  `json:"session"`
+	Name          string  `json:"name"`
+	CPUSeconds    float64 `json:"cpuSeconds"`
+	PrivPerSec    float64 `json:"privPerSec,omitempty"`
+	MemVirtPerSec float64 `json:"memVirtPerSec,omitempty"`
+	Reads         int     `json:"reads,omitempty"`
+	ReadBytes     int64   `json:"readBytes,omitempty"`
+	Mount         string  `json:"mount,omitempty"`
+	RootOps       int     `json:"rootOps,omitempty"`
+	RootBytes     int64   `json:"rootBytes,omitempty"`
+}
+
+// RunResult summarizes a finished workload.
+type RunResult struct {
+	Name       string  `json:"name"`
+	ElapsedSec float64 `json:"elapsedSec"`
+	UserSec    float64 `json:"userSec"`
+	SysSec     float64 `json:"sysSec"`
+	Reads      int     `json:"reads"`
+	IOWaitSec  float64 `json:"ioWaitSec"`
+}
+
+// MigrateParams configures the migrate op.
+type MigrateParams struct {
+	Session string `json:"session"`
+	Target  string `json:"target"`
+}
+
+// SessionRef names a session for lifecycle ops.
+type SessionRef struct {
+	Session string `json:"session"`
+}
+
+// NodeInfo describes a node in status responses.
+type NodeInfo struct {
+	Name     string   `json:"name"`
+	Site     string   `json:"site"`
+	Slots    int      `json:"slots"`
+	Runnable int      `json:"runnable"`
+	Files    []string `json:"files,omitempty"`
+}
+
+// StatusInfo is the status op response.
+type StatusInfo struct {
+	VirtualSec float64       `json:"virtualSec"`
+	Nodes      []NodeInfo    `json:"nodes"`
+	Sessions   []SessionInfo `json:"sessions"`
+}
+
+// UsageInfo is the usage op response: a session's metered consumption.
+type UsageInfo struct {
+	Session           string  `json:"session"`
+	CPUSeconds        float64 `json:"cpuSeconds"`
+	GuestUserSeconds  float64 `json:"guestUserSeconds"`
+	Efficiency        float64 `json:"efficiency"`
+	DiffBytes         int64   `json:"diffBytes"`
+	ImageBytesFetched uint64  `json:"imageBytesFetched"`
+	DataBytesFetched  uint64  `json:"dataBytesFetched"`
+	WallSeconds       float64 `json:"wallSeconds"`
+}
+
+// QueryParams configures the query op (information service).
+type QueryParams struct {
+	Kind string `json:"kind"`
+}
+
+// QueryEntry is one information-service record in responses.
+type QueryEntry struct {
+	Kind  string         `json:"kind"`
+	Name  string         `json:"name"`
+	Attrs map[string]any `json:"attrs"`
+}
+
+func marshal(v any) (json.RawMessage, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal: %w", err)
+	}
+	return b, nil
+}
+
+func unmarshal[T any](raw json.RawMessage) (T, error) {
+	var v T
+	if len(raw) == 0 {
+		return v, fmt.Errorf("wire: missing params")
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return v, fmt.Errorf("wire: params: %w", err)
+	}
+	return v, nil
+}
