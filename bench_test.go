@@ -2,22 +2,31 @@
 // evaluation, one benchmark per table or figure, plus the ablations
 // indexed in DESIGN.md. Each benchmark iteration runs the full
 // experiment in simulated time; the reported ns/op is host time to
-// simulate it (the paper-comparable numbers are printed in the tables
-// via cmd/gridbench and recorded in EXPERIMENTS.md).
+// simulate it, and the experiment benchmarks also report samples/sec —
+// simulation samples completed per host second — which is the
+// paper-meaningful throughput number to track across commits (the
+// paper-comparable outputs are printed in the tables via cmd/gridbench
+// and recorded in EXPERIMENTS.md).
 package vmgrid_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"vmgrid/internal/experiments"
 )
+
+// fig1Samples is the per-scenario sample count the benchmarks use (the
+// paper uses 1000; 200 keeps iterations short without changing shape).
+const fig1Samples = 200
 
 // BenchmarkFigure1Microbenchmark regenerates Figure 1: the twelve
 // (load class × load placement × test placement) slowdown bars.
 func BenchmarkFigure1Microbenchmark(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Figure1(experiments.Fig1Config{
-			Seed: uint64(i + 1), Samples: 200, TaskSeconds: 1,
+			Seed: uint64(i + 1), Samples: fig1Samples, TaskSeconds: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -26,6 +35,7 @@ func BenchmarkFigure1Microbenchmark(b *testing.B) {
 			b.Fatalf("rows = %d", len(rows))
 		}
 	}
+	reportSamplesPerSec(b, 12*fig1Samples)
 }
 
 // BenchmarkTable1Macrobenchmark regenerates Table 1: SPECseis and
@@ -33,7 +43,7 @@ func BenchmarkFigure1Microbenchmark(b *testing.B) {
 // state over the grid virtual file system.
 func BenchmarkTable1Macrobenchmark(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1(uint64(i + 1))
+		rows, err := experiments.Table1(uint64(i+1), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -41,6 +51,7 @@ func BenchmarkTable1Macrobenchmark(b *testing.B) {
 			b.Fatalf("rows = %d", len(rows))
 		}
 	}
+	reportSamplesPerSec(b, 6)
 }
 
 // BenchmarkTable2Startup regenerates Table 2: globusrun-driven VM
@@ -57,13 +68,66 @@ func BenchmarkTable2Startup(b *testing.B) {
 			b.Fatalf("rows = %d", len(rows))
 		}
 	}
+	reportSamplesPerSec(b, 6*10)
+}
+
+// reportSamplesPerSec converts ns/op into the paper-meaningful
+// throughput metric: independent simulation samples completed per host
+// second across the whole benchmark run.
+func reportSamplesPerSec(b *testing.B, samplesPerOp int) {
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(samplesPerOp*b.N)/sec, "samples/sec")
+	}
+}
+
+// BenchmarkRunnerParallel measures the deterministic fan-out engine on
+// the two sample-heavy experiments at increasing worker counts. On a
+// multi-core host the workers=4 lines complete the same byte-identical
+// tables several times faster than workers=1; on a single-core host the
+// lines coincide (and bound the engine's overhead).
+func BenchmarkRunnerParallel(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		workers := workers
+		b.Run(fmt.Sprintf("fig1/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Figure1(experiments.Fig1Config{
+					Seed: 1, Samples: fig1Samples, TaskSeconds: 1, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 12 {
+					b.Fatalf("rows = %d", len(rows))
+				}
+			}
+			reportSamplesPerSec(b, 12*fig1Samples)
+		})
+		b.Run(fmt.Sprintf("table2/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Table2(experiments.Table2Config{
+					Seed: 1, Samples: 10, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 6 {
+					b.Fatalf("rows = %d", len(rows))
+				}
+			}
+			reportSamplesPerSec(b, 6*10)
+		})
+	}
 }
 
 // BenchmarkAblationStaging regenerates ablation A: staging vs on-demand
 // image transfer across working-set fractions.
 func BenchmarkAblationStaging(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationStaging(uint64(i + 1)); err != nil {
+		if _, err := experiments.AblationStaging(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -73,7 +137,7 @@ func BenchmarkAblationStaging(b *testing.B) {
 // sharing a master image through the host buffer cache.
 func BenchmarkAblationProxyCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationProxyCache(uint64(i+1), 4); err != nil {
+		if _, err := experiments.AblationProxyCache(uint64(i+1), 4, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -83,7 +147,7 @@ func BenchmarkAblationProxyCache(b *testing.B) {
 // stop/cont enforcement of a 70/30 split.
 func BenchmarkAblationScheduling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationScheduling(uint64(i + 1)); err != nil {
+		if _, err := experiments.AblationScheduling(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -93,7 +157,7 @@ func BenchmarkAblationScheduling(b *testing.B) {
 // for an interrupted long job.
 func BenchmarkAblationMigration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationMigration(uint64(i + 1)); err != nil {
+		if _, err := experiments.AblationMigration(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -103,7 +167,7 @@ func BenchmarkAblationMigration(b *testing.B) {
 // around a degraded direct path.
 func BenchmarkAblationOverlay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationOverlay(uint64(i + 1)); err != nil {
+		if _, err := experiments.AblationOverlay(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -113,7 +177,7 @@ func BenchmarkAblationOverlay(b *testing.B) {
 // accuracy on synthetic host load.
 func BenchmarkAblationPredictors(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblationPredictors(uint64(i + 1)); err != nil {
+		if _, err := experiments.AblationPredictors(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}

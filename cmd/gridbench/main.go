@@ -6,13 +6,18 @@
 //
 //	gridbench [-exp all|fig1|table1|table2|ablation-staging|ablation-cache|
 //	           ablation-sched|ablation-migration|ablation-rps]
-//	          [-seed N] [-samples N]
+//	          [-seed N] [-samples N] [-parallel N]
+//
+// Independent simulation samples fan out across -parallel worker
+// goroutines (default: one per CPU). The tables are bit-identical for
+// every worker count; -parallel only changes wall-clock time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"vmgrid/internal/experiments"
@@ -31,6 +36,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "deterministic seed")
 	samples := fs.Int("samples", 0, "override sample count (0 = paper default)")
 	format := fs.String("format", "text", "output format: text or csv")
+	parallel := fs.Int("parallel", 0, "worker goroutines per experiment (0 = one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,11 +49,17 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown format %q (want text or csv)", *format)
 	}
+	workers := experiments.DefaultWorkers(*parallel)
+	// The run header makes recorded results reproducible: rerun with the
+	// same seed and any -parallel value to regenerate them byte for byte.
+	fmt.Printf("# gridbench seed=%d parallel=%d cpus=%d %s\n\n",
+		*seed, workers, runtime.NumCPU(), runtime.Version())
 
 	runners := map[string]func() error{
 		"fig1": func() error {
 			cfg := experiments.DefaultFig1Config()
 			cfg.Seed = *seed
+			cfg.Workers = workers
 			if *samples > 0 {
 				cfg.Samples = *samples
 			}
@@ -59,7 +71,7 @@ func run(args []string) error {
 			return nil
 		},
 		"table1": func() error {
-			rows, err := experiments.Table1(*seed)
+			rows, err := experiments.Table1(*seed, workers)
 			if err != nil {
 				return err
 			}
@@ -69,6 +81,7 @@ func run(args []string) error {
 		"table2": func() error {
 			cfg := experiments.DefaultTable2Config()
 			cfg.Seed = *seed
+			cfg.Workers = workers
 			if *samples > 0 {
 				cfg.Samples = *samples
 			}
@@ -80,7 +93,7 @@ func run(args []string) error {
 			return nil
 		},
 		"ablation-staging": func() error {
-			rows, err := experiments.AblationStaging(*seed)
+			rows, err := experiments.AblationStaging(*seed, workers)
 			if err != nil {
 				return err
 			}
@@ -92,7 +105,7 @@ func run(args []string) error {
 			if *samples > 0 {
 				n = *samples
 			}
-			rows, err := experiments.AblationProxyCache(*seed, n)
+			rows, err := experiments.AblationProxyCache(*seed, n, workers)
 			if err != nil {
 				return err
 			}
@@ -100,7 +113,7 @@ func run(args []string) error {
 			return nil
 		},
 		"ablation-sched": func() error {
-			rows, err := experiments.AblationScheduling(*seed)
+			rows, err := experiments.AblationScheduling(*seed, workers)
 			if err != nil {
 				return err
 			}
@@ -108,7 +121,7 @@ func run(args []string) error {
 			return nil
 		},
 		"ablation-migration": func() error {
-			rows, err := experiments.AblationMigration(*seed)
+			rows, err := experiments.AblationMigration(*seed, workers)
 			if err != nil {
 				return err
 			}
@@ -116,7 +129,7 @@ func run(args []string) error {
 			return nil
 		},
 		"ablation-overlay": func() error {
-			rows, err := experiments.AblationOverlay(*seed)
+			rows, err := experiments.AblationOverlay(*seed, workers)
 			if err != nil {
 				return err
 			}
@@ -124,7 +137,7 @@ func run(args []string) error {
 			return nil
 		},
 		"ablation-rps": func() error {
-			rows, err := experiments.AblationPredictors(*seed)
+			rows, err := experiments.AblationPredictors(*seed, workers)
 			if err != nil {
 				return err
 			}

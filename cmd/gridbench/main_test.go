@@ -36,6 +36,17 @@ func TestSampleOverride(t *testing.T) {
 	}
 }
 
+func TestParallelOverride(t *testing.T) {
+	// Any worker count must be accepted and produce the same tables;
+	// the CLI just threads it through (identity is asserted exhaustively
+	// in internal/experiments).
+	for _, p := range []string{"1", "4"} {
+		if err := run([]string{"-exp", "ablation-overlay", "-parallel", p}); err != nil {
+			t.Errorf("-parallel %s: %v", p, err)
+		}
+	}
+}
+
 func TestCSVFormat(t *testing.T) {
 	if err := run([]string{"-exp", "ablation-rps", "-format", "csv"}); err != nil {
 		t.Fatal(err)

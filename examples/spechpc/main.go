@@ -25,7 +25,7 @@ func run() error {
 	fmt.Println("           SPECclimate (9304s user, memory-intensive)")
 	fmt.Println()
 
-	rows, err := experiments.Table1(7)
+	rows, err := experiments.Table1(7, 0)
 	if err != nil {
 		return err
 	}

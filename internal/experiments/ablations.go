@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vmgrid/internal/core"
@@ -34,18 +35,33 @@ type StagingRow struct {
 // across a WAN. The paper's §3.1 argument: "transfer of entire VM
 // states can lead to unnecessary traffic due to the copying of unused
 // data", so on-demand wins until the working set approaches the image.
-func AblationStaging(seed uint64) ([]StagingRow, error) {
-	var rows []StagingRow
-	for _, ws := range []float64{0.01, 0.05, 0.10, 0.25, 0.50, 1.0} {
-		staged, err := stagingRun(seed, core.AccessStaged, ws)
-		if err != nil {
-			return nil, fmt.Errorf("staging ws=%v staged: %w", ws, err)
-		}
-		onDemand, err := stagingRun(seed, core.AccessOnDemand, ws)
-		if err != nil {
-			return nil, fmt.Errorf("staging ws=%v on-demand: %w", ws, err)
-		}
-		rows = append(rows, StagingRow{WorkingSet: ws, StagedSec: staged, OnDemandSec: onDemand})
+// The 6 fractions × 2 transfer models are independent simulations and
+// fan out across workers goroutines (<= 0 means one per CPU).
+func AblationStaging(seed uint64, workers int) ([]StagingRow, error) {
+	fractions := []float64{0.01, 0.05, 0.10, 0.25, 0.50, 1.0}
+	arms := []struct {
+		access core.ImageAccess
+		label  string
+	}{{core.AccessStaged, "staged"}, {core.AccessOnDemand, "on-demand"}}
+	// Paired design: both arms of one fraction replay the experiment
+	// seed so the winner column compares identical randomness.
+	secs, err := RunSamples(context.Background(), seed, len(fractions)*len(arms), workers,
+		func(i int, _ uint64) (float64, error) {
+			ws, arm := fractions[i/len(arms)], arms[i%len(arms)]
+			v, err := stagingRun(seed, arm.access, ws)
+			if err != nil {
+				return 0, fmt.Errorf("staging ws=%v %s: %w", ws, arm.label, err)
+			}
+			return v, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]StagingRow, 0, len(fractions))
+	for fi, ws := range fractions {
+		rows = append(rows, StagingRow{
+			WorkingSet: ws, StagedSec: secs[fi*len(arms)], OnDemandSec: secs[fi*len(arms)+1],
+		})
 	}
 	return rows, nil
 }
@@ -145,8 +161,19 @@ type CacheRow struct {
 // AblationProxyCache boots N VMs one after another from the same master
 // image on one host. Later boots hit the shared buffer cache, the
 // mechanism behind "a master static Linux virtual system disk shared by
-// multiple dynamic instances".
-func AblationProxyCache(seed uint64, instances int) ([]CacheRow, error) {
+// multiple dynamic instances". Unlike the other experiments this one is
+// inherently serial — the boots share one host cache, so it runs as a
+// single sample regardless of workers.
+func AblationProxyCache(seed uint64, instances, workers int) ([]CacheRow, error) {
+	rows, err := RunSamples(context.Background(), seed, 1, workers,
+		func(int, uint64) ([]CacheRow, error) { return proxyCacheRun(seed, instances) })
+	if err != nil {
+		return nil, err
+	}
+	return rows[0], nil
+}
+
+func proxyCacheRun(seed uint64, instances int) ([]CacheRow, error) {
 	if instances <= 0 {
 		instances = 4
 	}
@@ -246,68 +273,89 @@ type SchedRow struct {
 	WorstWindow float64
 }
 
-// AblationScheduling compares lottery scheduling, weighted fair
-// queueing, and SIGSTOP/SIGCONT duty-cycling at enforcing a 70/30 CPU
-// split between two competing VMs.
-func AblationScheduling(seed uint64) ([]SchedRow, error) {
+// schedTarget is client A's share of the CPU in ablation C.
+const schedTarget = 0.7
+
+// evalQuantum measures a quantum scheduler's long-run share and worst
+// 100-quantum window deviation from the 70/30 target.
+func evalQuantum(s sched.QuantumScheduler) SchedRow {
 	const (
 		quanta = 20000
 		window = 100
-		target = 0.7
 	)
-	evalQuantum := func(s sched.QuantumScheduler) SchedRow {
-		countA := 0
-		worst := 0.0
-		winA := 0
-		for q := 1; q <= quanta; q++ {
-			if s.Next() == 0 {
-				countA++
-				winA++
-			}
-			if q%window == 0 {
-				dev := float64(winA)/window - target
-				if dev < 0 {
-					dev = -dev
-				}
-				if dev > worst {
-					worst = dev
-				}
-				winA = 0
-			}
+	countA := 0
+	worst := 0.0
+	winA := 0
+	for q := 1; q <= quanta; q++ {
+		if s.Next() == 0 {
+			countA++
+			winA++
 		}
-		return SchedRow{
-			Mechanism:   s.Name(),
-			ShareA:      float64(countA) / quanta,
-			WorstWindow: worst,
+		if q%window == 0 {
+			dev := float64(winA)/window - schedTarget
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > worst {
+				worst = dev
+			}
+			winA = 0
 		}
 	}
-
-	lot, err := sched.NewLottery(sim.NewRNG(seed), 7, 3)
-	if err != nil {
-		return nil, err
+	return SchedRow{
+		Mechanism:   s.Name(),
+		ShareA:      float64(countA) / quanta,
+		WorstWindow: worst,
 	}
-	wfq, err := sched.NewWFQ(7, 3)
-	if err != nil {
-		return nil, err
-	}
-	rows := []SchedRow{evalQuantum(lot), evalQuantum(wfq)}
+}
 
-	// Duty-cycle modulation on the fluid host model: two CPU-bound VMs,
-	// A capped at 70%, B at 30%, measuring A's achieved work share.
+// AblationScheduling compares lottery scheduling, weighted fair
+// queueing, and SIGSTOP/SIGCONT duty-cycling at enforcing a 70/30 CPU
+// split between two competing VMs. The three mechanisms evaluate
+// independently and fan out across workers goroutines; each sample
+// builds its own scheduler (and, for stop/cont, kernel) so nothing is
+// shared.
+func AblationScheduling(seed uint64, workers int) ([]SchedRow, error) {
+	mechanisms := []func() (SchedRow, error){
+		func() (SchedRow, error) {
+			lot, err := sched.NewLottery(sim.NewRNG(seed), 7, 3)
+			if err != nil {
+				return SchedRow{}, err
+			}
+			return evalQuantum(lot), nil
+		},
+		func() (SchedRow, error) {
+			wfq, err := sched.NewWFQ(7, 3)
+			if err != nil {
+				return SchedRow{}, err
+			}
+			return evalQuantum(wfq), nil
+		},
+		func() (SchedRow, error) { return schedStopCont(seed) },
+	}
+	return RunSamples(context.Background(), seed, len(mechanisms), workers,
+		func(i int, _ uint64) (SchedRow, error) { return mechanisms[i]() })
+}
+
+// schedStopCont measures duty-cycle modulation on the fluid host model:
+// two CPU-bound VMs, A capped at 70%, B at 30%, measuring A's achieved
+// work share.
+func schedStopCont(seed uint64) (SchedRow, error) {
+	const target = schedTarget
 	k := sim.NewKernel(seed)
 	h, err := hostos.New(k, hw.ReferenceMachine("host"))
 	if err != nil {
-		return nil, err
+		return SchedRow{}, err
 	}
 	procA := h.Spawn("vm-a")
 	procB := h.Spawn("vm-b")
 	modA, err := sched.NewModulator(k, procA, target, 200*sim.Millisecond)
 	if err != nil {
-		return nil, err
+		return SchedRow{}, err
 	}
 	modB, err := sched.NewModulator(k, procB, 1-target, 200*sim.Millisecond)
 	if err != nil {
-		return nil, err
+		return SchedRow{}, err
 	}
 	modA.Start()
 	modB.Start()
@@ -342,12 +390,11 @@ func AblationScheduling(seed uint64) ([]SchedRow, error) {
 	k.After(sim.Second, sample)
 	_ = k.RunUntil(sim.Time(200 * sim.Second))
 	total := trA.Consumed() + trB.Consumed()
-	rows = append(rows, SchedRow{
+	return SchedRow{
 		Mechanism:   "stop/cont",
 		ShareA:      trA.Consumed() / total,
 		WorstWindow: worst,
-	})
-	return rows, nil
+	}, nil
 }
 
 // SchedTable renders ablation C.
@@ -379,8 +426,11 @@ type MigrationRow struct {
 
 // AblationMigration interrupts a long job halfway and compares finishing
 // strategies: keep running (baseline), migrate the VM to a LAN peer,
-// and kill + cold restart from scratch on the peer.
-func AblationMigration(seed uint64) ([]MigrationRow, error) {
+// and kill + cold restart from scratch on the peer. The three strategies
+// simulate independently (each builds its own grid from the shared
+// experiment seed, a paired design) and fan out across workers
+// goroutines.
+func AblationMigration(seed uint64, workers int) ([]MigrationRow, error) {
 	run := func(strategy string) (float64, float64, error) {
 		g := core.NewGrid(seed)
 		mk := func(cfg core.NodeConfig) error {
@@ -468,15 +518,15 @@ func AblationMigration(seed uint64) ([]MigrationRow, error) {
 		return doneAt.Seconds(), lost, nil
 	}
 
-	var rows []MigrationRow
-	for _, strategy := range []string{"keep", "migrate", "restart"} {
-		total, lost, err := run(strategy)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, MigrationRow{Strategy: strategy, TotalSec: total, LostWork: lost})
-	}
-	return rows, nil
+	strategies := []string{"keep", "migrate", "restart"}
+	return RunSamples(context.Background(), seed, len(strategies), workers,
+		func(i int, _ uint64) (MigrationRow, error) {
+			total, lost, err := run(strategies[i])
+			if err != nil {
+				return MigrationRow{}, err
+			}
+			return MigrationRow{Strategy: strategies[i], TotalSec: total, LostWork: lost}, nil
+		})
 }
 
 // MigrationTable renders ablation D.
@@ -505,31 +555,42 @@ type PredictorRow struct {
 }
 
 // AblationPredictors evaluates the RPS predictors one-step-ahead on the
-// three load classes.
-func AblationPredictors(seed uint64) ([]PredictorRow, error) {
-	var rows []PredictorRow
-	for _, class := range []trace.Class{trace.Light, trace.Heavy} {
-		data := trace.Synthetic(class, sim.NewRNG(seed+uint64(class)), 6000).Loads
-		const train = 2000
-		mm, err := rps.NewMovingMean(500)
-		if err != nil {
-			return nil, err
-		}
-		ar, err := rps.NewAR(8)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range []rps.Predictor{&rps.LastValue{}, mm, ar} {
+// load classes. Each (class, predictor) pair evaluates independently —
+// the sample closure regenerates its class's trace from the experiment
+// seed — and fans out across workers goroutines.
+func AblationPredictors(seed uint64, workers int) ([]PredictorRow, error) {
+	classes := []trace.Class{trace.Light, trace.Heavy}
+	const predictors = 3 // LAST, MEAN(500), AR(8)
+	return RunSamples(context.Background(), seed, len(classes)*predictors, workers,
+		func(i int, _ uint64) (PredictorRow, error) {
+			class := classes[i/predictors]
+			// The trace is paired per class (same data for all three
+			// predictors), so it derives from the experiment seed.
+			data := trace.Synthetic(class, sim.NewRNG(seed+uint64(class)), 6000).Loads
+			const train = 2000
+			var p rps.Predictor
+			switch i % predictors {
+			case 0:
+				p = &rps.LastValue{}
+			case 1:
+				mm, err := rps.NewMovingMean(500)
+				if err != nil {
+					return PredictorRow{}, err
+				}
+				p = mm
+			case 2:
+				ar, err := rps.NewAR(8)
+				if err != nil {
+					return PredictorRow{}, err
+				}
+				p = ar
+			}
 			ev, err := rps.Evaluate(p, data, train)
 			if err != nil {
-				return nil, err
+				return PredictorRow{}, err
 			}
-			rows = append(rows, PredictorRow{
-				Load: class, Predictor: ev.Predictor, MSE: ev.MSE, MAE: ev.MAE,
-			})
-		}
-	}
-	return rows, nil
+			return PredictorRow{Load: class, Predictor: ev.Predictor, MSE: ev.MSE, MAE: ev.MAE}, nil
+		})
 }
 
 // PredictorTable renders ablation E.

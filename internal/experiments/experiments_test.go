@@ -72,7 +72,7 @@ func TestFigure1ShapeHolds(t *testing.T) {
 }
 
 func TestTable1ShapeHolds(t *testing.T) {
-	rows, err := Table1(1)
+	rows, err := Table1(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestTable2ShapeHolds(t *testing.T) {
 }
 
 func TestAblationStagingCrossover(t *testing.T) {
-	rows, err := AblationStaging(1)
+	rows, err := AblationStaging(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestAblationStagingCrossover(t *testing.T) {
 }
 
 func TestAblationProxyCacheSharing(t *testing.T) {
-	rows, err := AblationProxyCache(1, 3)
+	rows, err := AblationProxyCache(1, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +233,7 @@ func TestAblationProxyCacheSharing(t *testing.T) {
 }
 
 func TestAblationSchedulingAccuracy(t *testing.T) {
-	rows, err := AblationScheduling(1)
+	rows, err := AblationScheduling(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestAblationSchedulingAccuracy(t *testing.T) {
 }
 
 func TestAblationMigrationBeatsRestart(t *testing.T) {
-	rows, err := AblationMigration(1)
+	rows, err := AblationMigration(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestAblationMigrationBeatsRestart(t *testing.T) {
 }
 
 func TestAblationPredictorsOrdering(t *testing.T) {
-	rows, err := AblationPredictors(1)
+	rows, err := AblationPredictors(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestAblationPredictorsOrdering(t *testing.T) {
 }
 
 func TestAblationOverlayCrossover(t *testing.T) {
-	rows, err := AblationOverlay(1)
+	rows, err := AblationOverlay(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

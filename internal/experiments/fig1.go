@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vmgrid/internal/guest"
@@ -41,6 +42,9 @@ type Fig1Config struct {
 	Samples int
 	// TaskSeconds is the CPU work of one test task sample.
 	TaskSeconds float64
+	// Workers bounds the goroutines running scenarios concurrently;
+	// <= 0 means one per CPU. Output is identical for every value.
+	Workers int
 }
 
 // DefaultFig1Config matches the paper's setup.
@@ -67,6 +71,9 @@ func (r Fig1Row) Scenario() string {
 // sampled repeatedly under {none, light, heavy} background load, for all
 // four placements of {load, test} across {physical machine, VM}.
 // Slowdown is elapsed time over the unloaded-physical elapsed time.
+// The twelve scenarios are independent simulations and fan out across
+// cfg.Workers goroutines; each builds its kernel, host, and traces inside
+// its own sample closure, so the rows are identical at any worker count.
 func Figure1(cfg Fig1Config) ([]Fig1Row, error) {
 	if cfg.Samples <= 0 {
 		cfg.Samples = 1000
@@ -80,19 +87,28 @@ func Figure1(cfg Fig1Config) ([]Fig1Row, error) {
 		return nil, err
 	}
 
-	var rows []Fig1Row
+	type scenario struct {
+		load   trace.Class
+		loadOn Placement
+		testOn Placement
+	}
+	var scenarios []scenario
 	for _, load := range trace.Classes() {
 		for _, loadOn := range []Placement{OnPhysical, OnVM} {
 			for _, testOn := range []Placement{OnPhysical, OnVM} {
-				row, err := fig1Scenario(cfg, baseline, load, loadOn, testOn)
-				if err != nil {
-					return nil, fmt.Errorf("scenario %v/%v/%v: %w", load, loadOn, testOn, err)
-				}
-				rows = append(rows, row)
+				scenarios = append(scenarios, scenario{load, loadOn, testOn})
 			}
 		}
 	}
-	return rows, nil
+	return RunSamples(context.Background(), cfg.Seed, len(scenarios), cfg.Workers,
+		func(i int, seed uint64) (Fig1Row, error) {
+			sc := scenarios[i]
+			row, err := fig1Scenario(cfg, baseline, seed, sc.load, sc.loadOn, sc.testOn)
+			if err != nil {
+				return row, fmt.Errorf("scenario %v/%v/%v: %w", sc.load, sc.loadOn, sc.testOn, err)
+			}
+			return row, nil
+		})
 }
 
 // fig1Baseline measures the unloaded physical elapsed time of one task.
@@ -153,8 +169,11 @@ func fig1VM(k *sim.Kernel, h *hostos.Host, name string, ready func(*vmm.VM)) err
 	})
 }
 
-func fig1Scenario(cfg Fig1Config, baseline float64, load trace.Class, loadOn, testOn Placement) (Fig1Row, error) {
-	k := sim.NewKernel(cfg.Seed ^ (uint64(load)<<8 | uint64(loadOn)<<4 | uint64(testOn)))
+func fig1Scenario(cfg Fig1Config, baseline float64, seed uint64, load trace.Class, loadOn, testOn Placement) (Fig1Row, error) {
+	// seed is the runner-derived per-scenario seed; the background trace
+	// below deliberately does NOT use it — all four placements of one
+	// load class must replay the identical trace (paired design).
+	k := sim.NewKernel(seed)
 	h, err := hostos.New(k, hw.ReferenceMachine("phys"))
 	if err != nil {
 		return Fig1Row{}, err

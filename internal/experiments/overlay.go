@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"vmgrid/internal/netsim"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/vnet"
@@ -24,51 +26,57 @@ type OverlayRow struct {
 // itself": two VMs communicate over a direct path of varying quality
 // while a third VM sits on two good 5 ms links. Once the direct path
 // degrades past the detour, the overlay routes around it — resilient
-// overlay networks in miniature.
-func AblationOverlay(seed uint64) ([]OverlayRow, error) {
-	var rows []OverlayRow
-	for _, directMs := range []float64{2, 5, 9, 15, 40, 120} {
-		k := sim.NewKernel(seed)
-		n := netsim.New(k)
-		for _, name := range []string{"vm-a", "vm-b", "vm-relay"} {
-			n.AddNode(name)
-		}
-		direct := sim.DurationOf(directMs / 1000)
-		if err := n.Connect("vm-a", "vm-b", direct, 1e7); err != nil {
-			return nil, err
-		}
-		if err := n.Connect("vm-a", "vm-relay", 5*sim.Millisecond, 1e7); err != nil {
-			return nil, err
-		}
-		if err := n.Connect("vm-relay", "vm-b", 5*sim.Millisecond, 1e7); err != nil {
-			return nil, err
-		}
-
-		overlay, err := vnet.NewOverlay(n, "vm-a", "vm-b", "vm-relay")
-		if err != nil {
-			return nil, err
-		}
-
-		const msgBytes = 4 << 10
-		var plainAt, overlayAt sim.Time
-		if err := n.Send("vm-a", "vm-b", msgBytes, nil, func(any) { plainAt = k.Now() }); err != nil {
-			return nil, err
-		}
-		k.Run()
-		mark := k.Now()
-		if err := overlay.Send("vm-a", "vm-b", msgBytes, nil, func(any) { overlayAt = k.Now() }); err != nil {
-			return nil, err
-		}
-		k.Run()
-
-		rows = append(rows, OverlayRow{
-			DirectMs:  directMs,
-			PlainMs:   plainAt.Sub(0).Seconds() * 1000,
-			OverlayMs: overlayAt.Sub(mark).Seconds() * 1000,
-			Relayed:   overlay.Via("vm-a", "vm-b") != "",
+// overlay networks in miniature. The six path qualities simulate
+// independently (paired on the experiment seed) and fan out across
+// workers goroutines.
+func AblationOverlay(seed uint64, workers int) ([]OverlayRow, error) {
+	paths := []float64{2, 5, 9, 15, 40, 120}
+	return RunSamples(context.Background(), seed, len(paths), workers,
+		func(i int, _ uint64) (OverlayRow, error) {
+			return overlayRun(seed, paths[i])
 		})
+}
+
+func overlayRun(seed uint64, directMs float64) (OverlayRow, error) {
+	k := sim.NewKernel(seed)
+	n := netsim.New(k)
+	for _, name := range []string{"vm-a", "vm-b", "vm-relay"} {
+		n.AddNode(name)
 	}
-	return rows, nil
+	direct := sim.DurationOf(directMs / 1000)
+	if err := n.Connect("vm-a", "vm-b", direct, 1e7); err != nil {
+		return OverlayRow{}, err
+	}
+	if err := n.Connect("vm-a", "vm-relay", 5*sim.Millisecond, 1e7); err != nil {
+		return OverlayRow{}, err
+	}
+	if err := n.Connect("vm-relay", "vm-b", 5*sim.Millisecond, 1e7); err != nil {
+		return OverlayRow{}, err
+	}
+
+	overlay, err := vnet.NewOverlay(n, "vm-a", "vm-b", "vm-relay")
+	if err != nil {
+		return OverlayRow{}, err
+	}
+
+	const msgBytes = 4 << 10
+	var plainAt, overlayAt sim.Time
+	if err := n.Send("vm-a", "vm-b", msgBytes, nil, func(any) { plainAt = k.Now() }); err != nil {
+		return OverlayRow{}, err
+	}
+	k.Run()
+	mark := k.Now()
+	if err := overlay.Send("vm-a", "vm-b", msgBytes, nil, func(any) { overlayAt = k.Now() }); err != nil {
+		return OverlayRow{}, err
+	}
+	k.Run()
+
+	return OverlayRow{
+		DirectMs:  directMs,
+		PlainMs:   plainAt.Sub(0).Seconds() * 1000,
+		OverlayMs: overlayAt.Sub(mark).Seconds() * 1000,
+		Relayed:   overlay.Via("vm-a", "vm-b") != "",
+	}, nil
 }
 
 // OverlayTable renders ablation F.

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunSamplesOrdersResults(t *testing.T) {
+	got, err := RunSamples(context.Background(), 1, 100, 8, func(i int, _ uint64) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunSamplesSeedsMatchSerial(t *testing.T) {
+	// The seed handed to sample i must be SampleSeed(base, i) at every
+	// worker count — the parallel schedule must not leak into seeding.
+	const base = 99
+	for _, workers := range []int{1, 3, 16} {
+		seeds, err := RunSamples(context.Background(), base, 50, workers,
+			func(i int, seed uint64) (uint64, error) { return seed, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range seeds {
+			if want := SampleSeed(base, i); s != want {
+				t.Fatalf("workers=%d: seed[%d] = %#x, want %#x", workers, i, s, want)
+			}
+		}
+	}
+}
+
+func TestRunSamplesPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := RunSamples(context.Background(), 1, 100, workers, func(i int, _ uint64) (int, error) {
+			if i == 7 {
+				return 0, fmt.Errorf("sample %d: %w", i, boom)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+	}
+}
+
+func TestRunSamplesErrorCancelsStragglers(t *testing.T) {
+	// After the first failure, unstarted samples must not run: the error
+	// cancels the shared context and workers stop claiming indices.
+	var ran atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	_, err := RunSamples(context.Background(), 1, 10_000, 2, func(i int, _ uint64) (int, error) {
+		ran.Add(1)
+		var failed error
+		once.Do(func() {
+			failed = errors.New("first failure")
+			close(release)
+		})
+		if failed != nil {
+			return 0, failed
+		}
+		<-release // everyone else waits until the failure is recorded
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("ran %d samples after failure; cancellation did not stop the fan-out", n)
+	}
+}
+
+func TestRunSamplesContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := RunSamples(ctx, 1, 10, workers, func(i int, _ uint64) (int, error) {
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestRunSamplesEmpty(t *testing.T) {
+	got, err := RunSamples(context.Background(), 1, 0, 4, func(i int, _ uint64) (int, error) {
+		t.Fatal("sample ran for n=0")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if DefaultWorkers(3) != 3 {
+		t.Error("explicit worker count not respected")
+	}
+	if DefaultWorkers(0) < 1 || DefaultWorkers(-1) < 1 {
+		t.Error("defaulted worker count not positive")
+	}
+}
+
+// TestSampleSeedCollisionFree is the property test for the SplitMix64
+// derivation: across 10k sample indices of a random base seed, every
+// derived seed is distinct (and none collides with the base itself).
+func TestSampleSeedCollisionFree(t *testing.T) {
+	prop := func(base uint64) bool {
+		seen := make(map[uint64]struct{}, 10_001)
+		seen[base] = struct{}{}
+		for i := 0; i < 10_000; i++ {
+			s := SampleSeed(base, i)
+			if _, dup := seen[s]; dup {
+				return false
+			}
+			seen[s] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Determinism: every experiment must produce exactly equal rows at
+// workers=1 (pure serial) and workers=8, from the same seed.
+// ---------------------------------------------------------------------
+
+func assertWorkerInvariant[T any](t *testing.T, name string, run func(workers int) ([]T, error)) {
+	t.Helper()
+	serial, err := run(1)
+	if err != nil {
+		t.Fatalf("%s workers=1: %v", name, err)
+	}
+	parallel, err := run(8)
+	if err != nil {
+		t.Fatalf("%s workers=8: %v", name, err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("%s: rows differ between workers=1 and workers=8:\nserial:   %+v\nparallel: %+v",
+			name, serial, parallel)
+	}
+}
+
+func TestFigure1WorkerInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "fig1", func(workers int) ([]Fig1Row, error) {
+		return Figure1(Fig1Config{Seed: 3, Samples: 40, TaskSeconds: 1, Workers: workers})
+	})
+}
+
+func TestTable1WorkerInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "table1", func(workers int) ([]Table1Row, error) {
+		return Table1(3, workers)
+	})
+}
+
+func TestTable2WorkerInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "table2", func(workers int) ([]Table2Row, error) {
+		return Table2(Table2Config{Seed: 3, Samples: 2, Workers: workers})
+	})
+}
+
+func TestAblationStagingWorkerInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "staging", func(workers int) ([]StagingRow, error) {
+		return AblationStaging(3, workers)
+	})
+}
+
+func TestAblationProxyCacheWorkerInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "cache", func(workers int) ([]CacheRow, error) {
+		return AblationProxyCache(3, 3, workers)
+	})
+}
+
+func TestAblationSchedulingWorkerInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "sched", func(workers int) ([]SchedRow, error) {
+		return AblationScheduling(3, workers)
+	})
+}
+
+func TestAblationMigrationWorkerInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "migration", func(workers int) ([]MigrationRow, error) {
+		return AblationMigration(3, workers)
+	})
+}
+
+func TestAblationPredictorsWorkerInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "rps", func(workers int) ([]PredictorRow, error) {
+		return AblationPredictors(3, workers)
+	})
+}
+
+func TestAblationOverlayWorkerInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "overlay", func(workers int) ([]OverlayRow, error) {
+		return AblationOverlay(3, workers)
+	})
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vmgrid/internal/guest"
@@ -29,38 +30,46 @@ type Table1Row struct {
 // workloads on (a) the physical machine, (b) a VM with state on local
 // disk, and (c) a VM with state accessed via the NFS-based grid virtual
 // file system across a WAN (image server at the remote site, data server
-// on the local LAN, as in the paper's §4 description).
-func Table1(seed uint64) ([]Table1Row, error) {
+// on the local LAN, as in the paper's §4 description). The six (app,
+// resource) runs are independent simulations and fan out across workers
+// goroutines (<= 0 means one per CPU); rows are identical at any count.
+func Table1(seed uint64, workers int) ([]Table1Row, error) {
+	apps := []guest.Workload{guest.SPECseis96(), guest.SPECclimate()}
+	modes := []struct{ mode, label string }{
+		{"physical", "Physical"},
+		{"vm-local", "VM, local disk"},
+		{"vm-pvfs", "VM, PVFS"},
+	}
+	// Paired design: every run replays the experiment seed so the VM rows
+	// are compared against a physical baseline that saw the identical
+	// randomness — the runner-derived per-sample seed is ignored.
+	results, err := RunSamples(context.Background(), seed, len(apps)*len(modes), workers,
+		func(i int, _ uint64) (guest.TaskResult, error) {
+			app, m := apps[i/len(modes)], modes[i%len(modes)]
+			res, err := table1Run(seed, app, m.mode)
+			if err != nil {
+				return res, fmt.Errorf("table1 %s %s: %w", app.Name, m.mode, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	var rows []Table1Row
-	for _, app := range []guest.Workload{guest.SPECseis96(), guest.SPECclimate()} {
-		physical, err := table1Run(seed, app, "physical")
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s physical: %w", app.Name, err)
-		}
-		vmLocal, err := table1Run(seed, app, "vm-local")
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s vm-local: %w", app.Name, err)
-		}
-		vmPVFS, err := table1Run(seed, app, "vm-pvfs")
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s vm-pvfs: %w", app.Name, err)
-		}
-		mk := func(label string, res guest.TaskResult) Table1Row {
-			total := res.Elapsed().Seconds()
-			return Table1Row{
+	for ai, app := range apps {
+		physical := results[ai*len(modes)] // modes[0] is the physical run
+		for mi, m := range modes {
+			res := results[ai*len(modes)+mi]
+			rows = append(rows, Table1Row{
 				App:      app.Name,
-				Resource: label,
+				Resource: m.label,
 				User:     res.UserSeconds,
 				Sys:      res.SysSeconds(),
-				Total:    total,
-				Overhead: total/physical.Elapsed().Seconds() - 1,
-			}
+				Total:    res.Elapsed().Seconds(),
+				Overhead: res.Elapsed().Seconds()/physical.Elapsed().Seconds() - 1,
+			})
 		}
-		rows = append(rows,
-			mk("Physical", physical),
-			mk("VM, local disk", vmLocal),
-			mk("VM, PVFS", vmPVFS),
-		)
 	}
 	return rows, nil
 }

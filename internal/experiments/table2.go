@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vmgrid/internal/core"
@@ -16,6 +17,9 @@ import (
 type Table2Config struct {
 	Seed    uint64
 	Samples int // the paper uses 10
+	// Workers bounds concurrent samples; <= 0 means one per CPU.
+	// Output is identical for every value.
+	Workers int
 }
 
 // DefaultTable2Config matches the paper.
@@ -55,15 +59,28 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 		{vmm.WarmRestore, "Non-persistent LoopbackNFS", core.NonPersistent, core.AccessLoopback},
 	}
 
-	var rows []Table2Row
-	for _, c := range cells {
-		var stat sim.Stat
-		for i := 0; i < cfg.Samples; i++ {
-			elapsed, err := table2Sample(cfg.Seed+uint64(i)*7919, c.mode, c.disk, c.access)
+	// Every (cell, sample) pair is an independent simulation: flatten to
+	// 6×Samples samples and fan out. Each sample builds its own grid from
+	// the runner-derived seed, so cells fill in parallel and the rows are
+	// identical at any worker count.
+	elapsed, err := RunSamples(context.Background(), cfg.Seed, len(cells)*cfg.Samples, cfg.Workers,
+		func(i int, seed uint64) (float64, error) {
+			c := cells[i/cfg.Samples]
+			v, err := table2Sample(seed, c.mode, c.disk, c.access)
 			if err != nil {
-				return nil, fmt.Errorf("table2 %v/%s sample %d: %w", c.mode, c.label, i, err)
+				return 0, fmt.Errorf("table2 %v/%s sample %d: %w", c.mode, c.label, i%cfg.Samples, err)
 			}
-			stat.Add(elapsed)
+			return v, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Table2Row, 0, len(cells))
+	for ci, c := range cells {
+		var stat sim.Stat
+		for _, v := range elapsed[ci*cfg.Samples : (ci+1)*cfg.Samples] {
+			stat.Add(v)
 		}
 		rows = append(rows, Table2Row{
 			Mode: c.mode, Config: c.label,

@@ -31,6 +31,26 @@ func BenchmarkKernelScheduleCancel(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelCancelReschedule measures the cancel-then-reschedule
+// pattern against a pool of live events — what WorkTracker produces on a
+// contended host. Lazy deletion makes the cancel O(1) instead of a heap
+// removal, and the freelist makes the reschedule allocation-free.
+func BenchmarkKernelCancelReschedule(b *testing.B) {
+	k := NewKernel(1)
+	const live = 64
+	ids := make([]EventID, live)
+	for i := range ids {
+		ids[i] = k.At(Time((i+1)*1000), nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % live
+		k.Cancel(ids[slot])
+		ids[slot] = k.At(Time((slot+1)*1000), nil)
+	}
+}
+
 // BenchmarkWorkTrackerRateChanges measures the fluid model under
 // frequent reallocation (the hot path of a contended host).
 func BenchmarkWorkTrackerRateChanges(b *testing.B) {

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -67,70 +66,58 @@ var ErrStalled = errors.New("sim: event queue drained before deadline")
 
 // event is a scheduled callback. seq breaks ties between events scheduled
 // for the same instant so dispatch order is deterministic (FIFO per instant).
+// Events are recycled through the kernel's freelist; gen distinguishes the
+// current occupant from stale EventIDs that refer to a previous use.
 type event struct {
 	at       Time
 	seq      uint64
 	fn       func()
+	gen      uint64
+	owner    *Kernel
 	canceled bool
-	index    int // position in the heap, maintained by heap.Interface
 }
 
 // EventID identifies a scheduled event so it can be canceled. The zero
-// EventID is invalid.
-type EventID struct{ ev *event }
+// EventID is invalid. An EventID stays safe to cancel after the event has
+// fired or been recycled: the generation stamp no longer matches, so the
+// cancel is a no-op rather than a hit on an unrelated event.
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
 // Valid reports whether the id refers to a scheduled (possibly already
 // fired) event.
 func (id EventID) Valid() bool { return id.ev != nil }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
-
 // Kernel is the discrete-event simulation core: a virtual clock plus an
 // ordered queue of pending events. A Kernel is not safe for concurrent use;
 // a simulation is a single-threaded deterministic program by design.
+// Callers that want parallelism run one Kernel per goroutine (see
+// internal/experiments' sample runner) — nothing here is shared.
 type Kernel struct {
 	now        Time
-	queue      eventQueue
+	queue      []*event // binary min-heap on (at, seq)
 	seq        uint64
 	rng        *RNG
 	dispatched uint64
+	live       int      // scheduled events that are neither canceled nor fired
+	ncanceled  int      // canceled events still occupying heap slots
+	free       []*event // recycled events; single-threaded, so no sync.Pool
 }
+
+// initialQueueCap pre-sizes the event heap and freelist: even small models
+// (a host, a VM, a few trackers) keep tens of events in flight, and growing
+// the backing array during the hot loop shows up in profiles.
+const initialQueueCap = 128
 
 // NewKernel returns a kernel with the clock at zero and randomness seeded
 // from seed. The same seed always produces the same simulation.
 func NewKernel(seed uint64) *Kernel {
-	return &Kernel{rng: NewRNG(seed)}
+	return &Kernel{
+		rng:   NewRNG(seed),
+		queue: make([]*event, 0, initialQueueCap),
+	}
 }
 
 // Now returns the current virtual time.
@@ -139,11 +126,93 @@ func (k *Kernel) Now() Time { return k.now }
 // RNG returns the kernel's deterministic random number generator.
 func (k *Kernel) RNG() *RNG { return k.rng }
 
-// Pending returns the number of events waiting to be dispatched.
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending returns the number of events waiting to be dispatched. Canceled
+// events still occupying queue slots are not counted.
+func (k *Kernel) Pending() int { return k.live }
 
 // Dispatched returns the total number of events executed so far.
 func (k *Kernel) Dispatched() uint64 { return k.dispatched }
+
+// alloc takes an event from the freelist, or makes one. The returned event
+// keeps the generation it was retired with; At stamps the EventID with it.
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		ev := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return ev
+	}
+	return &event{owner: k}
+}
+
+// recycle retires an event (fired or discarded after cancel) to the
+// freelist. Bumping gen invalidates every outstanding EventID for it, and
+// dropping fn releases the closure for GC.
+func (k *Kernel) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.canceled = false
+	k.free = append(k.free, ev)
+}
+
+// eventLess orders the heap by time, then schedule order.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// up restores the heap property from leaf i toward the root.
+func (k *Kernel) up(i int) {
+	q := k.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = ev
+}
+
+// down restores the heap property from node i toward the leaves.
+func (k *Kernel) down(i int) {
+	q := k.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventLess(q[r], q[child]) {
+			child = r
+		}
+		if !eventLess(q[child], ev) {
+			break
+		}
+		q[i] = q[child]
+		i = child
+	}
+	q[i] = ev
+}
+
+// popMin removes and returns the heap root.
+func (k *Kernel) popMin() *event {
+	q := k.queue
+	n := len(q) - 1
+	ev := q[0]
+	q[0] = q[n]
+	q[n] = nil
+	k.queue = q[:n]
+	if n > 0 {
+		k.down(0)
+	}
+	return ev
+}
 
 // At schedules fn to run at the absolute virtual time at. Scheduling in the
 // past (before Now) panics: it is always a simulation bug, never a
@@ -152,10 +221,15 @@ func (k *Kernel) At(at Time, fn func()) EventID {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", at, k.now))
 	}
-	ev := &event{at: at, seq: k.seq, fn: fn}
+	ev := k.alloc()
+	ev.at = at
+	ev.seq = k.seq
+	ev.fn = fn
 	k.seq++
-	heap.Push(&k.queue, ev)
-	return EventID{ev: ev}
+	k.live++
+	k.queue = append(k.queue, ev)
+	k.up(len(k.queue) - 1)
+	return EventID{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -167,15 +241,53 @@ func (k *Kernel) After(d Duration, fn func()) EventID {
 }
 
 // Cancel prevents a scheduled event from firing. Canceling an event that
-// already fired (or an invalid id) is a no-op so callers can cancel
-// unconditionally during teardown.
+// already fired, an invalid id, a stale id whose event was recycled, or an
+// id minted by a different kernel is a no-op, so callers can cancel
+// unconditionally during teardown. Cancel is O(1): the event is marked and
+// lazily dropped when it surfaces at the head of the queue (the common
+// cancel-then-reschedule pattern never pays heap-removal churn).
 func (k *Kernel) Cancel(id EventID) {
-	if id.ev == nil || id.ev.canceled {
+	ev := id.ev
+	if ev == nil || ev.owner != k || ev.gen != id.gen || ev.canceled {
 		return
 	}
-	id.ev.canceled = true
-	if id.ev.index >= 0 {
-		heap.Remove(&k.queue, id.ev.index)
+	ev.canceled = true
+	k.live--
+	k.ncanceled++
+	// If canceled tombstones dominate the heap, sweep them out so memory
+	// and per-op log factors track the live event count, not churn.
+	if k.ncanceled > 64 && k.ncanceled > len(k.queue)/2 {
+		k.compact()
+	}
+}
+
+// compact removes all canceled events from the heap in one pass and
+// re-heapifies. Amortized O(1) per cancel given the trigger threshold.
+func (k *Kernel) compact() {
+	q := k.queue[:0]
+	for _, ev := range k.queue {
+		if ev.canceled {
+			k.recycle(ev)
+		} else {
+			q = append(q, ev)
+		}
+	}
+	for i := len(q); i < len(k.queue); i++ {
+		k.queue[i] = nil
+	}
+	k.queue = q
+	k.ncanceled = 0
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		k.down(i)
+	}
+}
+
+// skimCanceled discards canceled events sitting at the head of the queue so
+// the root, if any, is live.
+func (k *Kernel) skimCanceled() {
+	for len(k.queue) > 0 && k.queue[0].canceled {
+		k.ncanceled--
+		k.recycle(k.popMin())
 	}
 }
 
@@ -183,14 +295,21 @@ func (k *Kernel) Cancel(id EventID) {
 // timestamp. It reports whether an event was dispatched.
 func (k *Kernel) step() bool {
 	for len(k.queue) > 0 {
-		ev := heap.Pop(&k.queue).(*event)
+		ev := k.popMin()
 		if ev.canceled {
+			k.ncanceled--
+			k.recycle(ev)
 			continue
 		}
 		k.now = ev.at
 		k.dispatched++
-		if ev.fn != nil {
-			ev.fn()
+		k.live--
+		fn := ev.fn
+		// Recycle before running fn: a cancel of this id during fn sees a
+		// stale generation, and fn is free to schedule into the slot.
+		k.recycle(ev)
+		if fn != nil {
+			fn()
 		}
 		return true
 	}
@@ -211,6 +330,7 @@ func (k *Kernel) Run() Time {
 // returned.
 func (k *Kernel) RunUntil(deadline Time) error {
 	for {
+		k.skimCanceled()
 		if len(k.queue) == 0 {
 			if k.now < deadline {
 				k.now = deadline
@@ -218,8 +338,7 @@ func (k *Kernel) RunUntil(deadline Time) error {
 			}
 			return nil
 		}
-		next := k.queue[0]
-		if next.at > deadline {
+		if k.queue[0].at > deadline {
 			k.now = deadline
 			return nil
 		}

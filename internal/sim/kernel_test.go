@@ -110,6 +110,132 @@ func TestKernelCancelOneOfMany(t *testing.T) {
 	}
 }
 
+func TestKernelCancelStaleIDAfterRecycle(t *testing.T) {
+	// Events are recycled through a freelist. A stale EventID — one whose
+	// event already fired or was canceled — must never cancel the slot's
+	// next occupant, even under heavy recycling.
+	k := NewKernel(1)
+	fired := false
+	idA := k.After(10, func() {})
+	k.Cancel(idA)
+	k.Run() // drains the canceled event; its slot returns to the freelist
+	idB := k.After(10, func() { fired = true })
+	k.Cancel(idA) // stale: generation no longer matches
+	k.Cancel(idA) // double-cancel of a stale id, still a no-op
+	k.Run()
+	if !fired {
+		t.Error("stale EventID canceled a recycled event")
+	}
+	_ = idB
+}
+
+func TestKernelCancelAfterFire(t *testing.T) {
+	k := NewKernel(1)
+	var id EventID
+	id = k.After(5, func() {
+		// Canceling the currently-firing event from inside its own
+		// callback must be a no-op (the id is already stale).
+		k.Cancel(id)
+	})
+	k.Run()
+	// The slot is recycled; a new event must be schedulable and fire.
+	fired := false
+	k.After(1, func() { fired = true })
+	k.Cancel(id) // stale again
+	k.Run()
+	if !fired {
+		t.Error("cancel-after-fire leaked into a later event")
+	}
+}
+
+func TestKernelCancelForeignKernelNoOp(t *testing.T) {
+	// An EventID minted by one kernel must not touch another kernel's
+	// queue, even though recycled events make pointer reuse possible.
+	a, b := NewKernel(1), NewKernel(2)
+	id := a.After(10, func() {})
+	b.After(30, func() {})
+	before := b.Pending()
+	b.Cancel(id) // id belongs to a, not b
+	if b.Pending() != before {
+		t.Error("foreign cancel changed Pending")
+	}
+	a.After(20, func() {})
+	a.Cancel(EventID{}) // zero id
+	a.Run()
+	if a.Dispatched() != 2 {
+		t.Errorf("Dispatched = %d, want 2 (foreign cancel must not kill a's event)", a.Dispatched())
+	}
+}
+
+func TestKernelPendingUnderLazyDelete(t *testing.T) {
+	// Cancel is lazy (tombstones stay queued until they surface or are
+	// compacted); Pending must count live events only, and double-cancel
+	// must not double-decrement.
+	k := NewKernel(1)
+	var ids []EventID
+	for i := 0; i < 10; i++ {
+		ids = append(ids, k.At(Time(10*(i+1)), func() {}))
+	}
+	if k.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", k.Pending())
+	}
+	k.Cancel(ids[3])
+	k.Cancel(ids[7])
+	k.Cancel(ids[3]) // double-cancel
+	if k.Pending() != 8 {
+		t.Fatalf("Pending = %d after cancels, want 8", k.Pending())
+	}
+	if err := k.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	// Events at 10,20,30,50 fired (40 canceled); 60..100 remain minus 80.
+	if k.Pending() != 4 {
+		t.Fatalf("Pending = %d after partial run, want 4", k.Pending())
+	}
+	k.Run()
+	if k.Pending() != 0 || k.Dispatched() != 8 {
+		t.Fatalf("Pending = %d, Dispatched = %d; want 0, 8", k.Pending(), k.Dispatched())
+	}
+}
+
+func TestKernelCancelCompaction(t *testing.T) {
+	// Mass cancellation must not leave the queue full of tombstones:
+	// schedule-and-cancel churn keeps memory bounded via compaction, and
+	// the surviving events still fire in order.
+	k := NewKernel(1)
+	var keep []int
+	for round := 0; round < 1000; round++ {
+		id := k.At(Time(round*10+1), nil)
+		k.Cancel(id)
+	}
+	for i := 0; i < 5; i++ {
+		i := i
+		k.At(Time(100_000+i), func() { keep = append(keep, i) })
+	}
+	if k.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", k.Pending())
+	}
+	k.Run()
+	for i, v := range keep {
+		if v != i {
+			t.Fatalf("survivors fired out of order: %v", keep)
+		}
+	}
+}
+
+func TestRunUntilAllCanceledStalls(t *testing.T) {
+	// RunUntil must not treat a queue of tombstones as pending work.
+	k := NewKernel(1)
+	id := k.At(10, func() {})
+	k.Cancel(id)
+	if err := k.RunUntil(100); !errors.Is(err, ErrStalled) {
+		t.Fatalf("RunUntil = %v, want ErrStalled", err)
+	}
+	if k.Now() != 100 {
+		t.Errorf("Now() = %v, want 100", k.Now())
+	}
+}
+
 func TestRunUntilStopsAtDeadline(t *testing.T) {
 	k := NewKernel(1)
 	fired := 0
