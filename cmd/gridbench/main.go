@@ -5,7 +5,8 @@
 // Usage:
 //
 //	gridbench [-exp all|fig1|table1|table2|ablation-staging|ablation-cache|
-//	           ablation-sched|ablation-migration|ablation-rps]
+//	           ablation-sched|ablation-migration|ablation-rps|
+//	           ablation-recovery]
 //	          [-seed N] [-samples N] [-parallel N]
 //
 // Independent simulation samples fan out across -parallel worker
@@ -136,6 +137,18 @@ func run(args []string) error {
 			emit(experiments.OverlayTable(rows))
 			return nil
 		},
+		"ablation-recovery": func() error {
+			n := 0 // package default replicate count
+			if *samples > 0 {
+				n = *samples
+			}
+			rows, err := experiments.AblationRecovery(*seed, n, workers)
+			if err != nil {
+				return err
+			}
+			emit(experiments.RecoveryTable(rows))
+			return nil
+		},
 		"ablation-rps": func() error {
 			rows, err := experiments.AblationPredictors(*seed, workers)
 			if err != nil {
@@ -151,6 +164,7 @@ func run(args []string) error {
 			"fig1", "table1", "table2",
 			"ablation-staging", "ablation-cache", "ablation-sched",
 			"ablation-migration", "ablation-overlay", "ablation-rps",
+			"ablation-recovery",
 		} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"testing"
+	"time"
 
 	"vmgrid/internal/wire"
 )
@@ -57,5 +58,44 @@ func TestDemoFabricServesTCP(t *testing.T) {
 	}
 	if len(futures) != 2 {
 		t.Errorf("demo futures = %d", len(futures))
+	}
+}
+
+// TestGracefulDrain is the daemon's shutdown contract: the SIGTERM path
+// calls srv.Close, which must complete promptly even with clients still
+// connected and idle — their requests in flight finish, their parked
+// readers abort — so the daemon never wedges on shutdown.
+func TestGracefulDrain(t *testing.T) {
+	srv := wire.NewServer(3)
+	if err := buildDemo(srv); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := wire.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A full session round trip leaves real state behind the connection.
+	if _, err := c.NewSession(wire.SessionParams{
+		User: "drain", FrontEnd: "front", Image: "rh72",
+		Mode: "restore", Disk: "non-persistent", Access: "local",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown hung with an idle client connected")
+	}
+	if err := c.Ping(); err == nil {
+		t.Error("server still answering after drain")
 	}
 }

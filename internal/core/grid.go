@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"vmgrid/internal/gis"
 	"vmgrid/internal/gram"
@@ -38,6 +39,8 @@ type Grid struct {
 	registry *gram.Registry
 	nodes    map[string]*Node
 	sessions int
+	live     map[string]*Session
+	vfsRetry vfs.RetryPolicy
 }
 
 // NewGrid creates an empty grid fabric seeded deterministically.
@@ -49,8 +52,14 @@ func NewGrid(seed uint64) *Grid {
 		info:     gis.New(k),
 		registry: gram.NewRegistry(),
 		nodes:    make(map[string]*Node),
+		live:     make(map[string]*Session),
 	}
 }
+
+// SetVFSRetry applies a retry policy to every VFS client the grid builds
+// from now on (data mounts and on-demand image mounts), threading
+// fault tolerance through the file system layer.
+func (g *Grid) SetVFSRetry(p vfs.RetryPolicy) { g.vfsRetry = p }
 
 // Kernel returns the simulation kernel.
 func (g *Grid) Kernel() *sim.Kernel { return g.k }
@@ -94,6 +103,14 @@ type Node struct {
 
 	images map[string]storage.ImageInfo
 	slots  int
+
+	// capacity is the configured slot count, restored on reboot.
+	capacity int
+	crashed  bool
+	// DHCP pool parameters, kept to rebuild the pool after a reboot
+	// (crash loses all leases).
+	dhcpPrefix string
+	dhcpSize   int
 }
 
 // NodeConfig describes a node to attach.
@@ -147,11 +164,13 @@ func (g *Grid) AddNode(cfg NodeConfig) (*Node, error) {
 			n.slots = 1
 		}
 	}
+	n.capacity = n.slots
 	if cfg.DHCPPrefix != "" {
 		size := cfg.DHCPSize
 		if size <= 0 {
 			size = 64
 		}
+		n.dhcpPrefix, n.dhcpSize = cfg.DHCPPrefix, size
 		n.dhcp = vnet.NewDHCP(cfg.DHCPPrefix, size)
 	}
 	if err := g.info.Register(gis.KindHost, cfg.Name, map[string]any{
@@ -186,10 +205,13 @@ func (n *Node) Gatekeeper() *gram.Gatekeeper { return n.gk }
 // Slots returns the remaining VM capacity.
 func (n *Node) Slots() int { return n.slots }
 
+// Crashed reports whether the node is currently failed-stop.
+func (n *Node) Crashed() bool { return n.crashed }
+
 // advertise refreshes the node's VM-future record: what it is willing
-// to instantiate right now.
+// to instantiate right now. Crashed nodes advertise nothing.
 func (n *Node) advertise() {
-	if n.role&RoleCompute == 0 {
+	if n.role&RoleCompute == 0 || n.crashed {
 		return
 	}
 	spec := n.host.Spec()
@@ -243,6 +265,64 @@ func boolAttr(b bool) int64 {
 		return 1
 	}
 	return 0
+}
+
+// CrashNode fail-stops a node: every attached link drops out of the
+// topology, the VMs it hosts die with their in-memory guest state, its
+// VM-future advertisement disappears, and its DHCP leases are lost. The
+// node's disk store survives the crash (it is back after RebootNode),
+// but sessions that were running there lose everything since their last
+// checkpoint — recovering them is the Supervisor's job. Crashing an
+// already-crashed node is a no-op.
+func (g *Grid) CrashNode(name string) error {
+	n := g.nodes[name]
+	if n == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	if n.crashed {
+		return nil
+	}
+	n.crashed = true
+	_ = g.net.SetNodeUp(name, false)
+	g.info.Deregister(gis.KindVMFuture, name)
+	for _, s := range g.sessionsOn(n) {
+		s.crash()
+	}
+	return nil
+}
+
+// RebootNode brings a crashed node back: links restore, the full slot
+// capacity is free again, and a fresh DHCP pool comes up. Sessions that
+// died in the crash do not come back by themselves.
+func (g *Grid) RebootNode(name string) error {
+	n := g.nodes[name]
+	if n == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	if !n.crashed {
+		return nil
+	}
+	n.crashed = false
+	_ = g.net.SetNodeUp(name, true)
+	if n.dhcpPrefix != "" {
+		n.dhcp = vnet.NewDHCP(n.dhcpPrefix, n.dhcpSize)
+	}
+	n.slots = n.capacity
+	n.advertise()
+	return nil
+}
+
+// sessionsOn returns the live sessions hosted by n in name order (the
+// deterministic order fault handling iterates them in).
+func (g *Grid) sessionsOn(n *Node) []*Session {
+	var out []*Session
+	for _, s := range g.live {
+		if s.node == n {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
 }
 
 // FindImage locates image servers holding the named image, closest

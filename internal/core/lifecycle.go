@@ -24,7 +24,10 @@ func (s *Session) Shutdown() {
 		_ = s.node.dhcp.Release(s.addr)
 		s.addr = ""
 	}
-	if s.node != nil {
+	// A crashed node's store survives but is unreachable; leave its files
+	// for the reboot-time operator. (Shutdown of a crashed session happens
+	// when its supervisor gives up on recovery.)
+	if s.node != nil && !s.node.crashed {
 		for _, f := range []string{s.name + ".cow", s.name + ".mem", s.name + ".zeromem"} {
 			if s.node.store.Has(f) {
 				_ = s.node.store.Delete(f)
@@ -33,6 +36,7 @@ func (s *Session) Shutdown() {
 	}
 	s.grid.info.Deregister(gis.KindVM, s.name)
 	s.releaseSlot()
+	delete(s.grid.live, s.name)
 	s.state = "dead"
 	s.mark("shutdown")
 }
@@ -158,6 +162,86 @@ func (s *Session) Migrate(targetName string, done func(error)) error {
 	s.mark("migrate-transfer")
 	transfer()
 	return nil
+}
+
+// restoreFrom re-instantiates a crashed session on target from a
+// checkpoint whose state files (s.name+".mem" and s.name+".cow") have
+// already been staged into target's store. Unlike arrive, there is no
+// guest to adopt — the crashed guest's post-checkpoint state is gone —
+// so the VM warm-restores with a fresh guest and the caller (the
+// supervisor) resubmits the remaining work. writtenPages is the COW
+// page list recorded at checkpoint time.
+//
+// The session must be in the "recovering" state (the supervisor's
+// failover path sets it) and the caller must have reserved a slot on
+// target.
+func (s *Session) restoreFrom(target *Node, writtenPages []int64, finish func(error)) {
+	if s.state != "recovering" {
+		finish(fmt.Errorf("%w: restore in %q", ErrBadSession, s.state))
+		return
+	}
+	info, ok := target.Image(s.cfg.Image)
+	if !ok {
+		finish(fmt.Errorf("%w: base image %q not on target %s", ErrNoImage, s.cfg.Image, target.name))
+		return
+	}
+	base, err := target.store.Open(info.DiskFile())
+	if err != nil {
+		finish(err)
+		return
+	}
+	diff, err := target.store.OpenOrCreate(s.name + ".cow")
+	if err != nil {
+		finish(err)
+		return
+	}
+	cow := storage.NewCowDisk(base, diff)
+	cow.MarkWritten(writtenPages)
+
+	localMem, err := target.store.Open(s.name + ".mem")
+	if err != nil {
+		finish(err)
+		return
+	}
+	mem := &memBackend{restore: localMem, local: localMem, dirty: true}
+
+	vm, err := vmm.New(target.host, vmm.Config{
+		Name:     s.name,
+		MemBytes: s.cfg.MemBytes,
+		Disk:     cow,
+		MemImage: mem,
+	})
+	if err != nil {
+		finish(err)
+		return
+	}
+
+	s.node = target
+	s.vm = vm
+	s.cow = cow
+	s.mem = mem
+
+	if err := vm.Start(vmm.WarmRestore, func(err error) {
+		if err != nil {
+			finish(err)
+			return
+		}
+		if err := s.connect(); err != nil {
+			finish(err)
+			return
+		}
+		s.state = "running"
+		s.mark("recovered")
+		_ = s.grid.info.Register(gis.KindVM, s.name, map[string]any{
+			gis.AttrHost: s.node.name,
+			gis.AttrAddr: s.addr,
+			"user":       s.cfg.User,
+			"image":      s.cfg.Image,
+		}, 0)
+		finish(nil)
+	}); err != nil {
+		finish(err)
+	}
 }
 
 // arrive re-instantiates the session on the target node after its state

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"vmgrid/internal/gis"
+	"vmgrid/internal/guest"
+	"vmgrid/internal/sim"
+)
+
+// crashSession crashes the node hosting s and returns once the session
+// is in the crashed state.
+func crashSession(t *testing.T, g *Grid, s *Session) {
+	t.Helper()
+	if err := g.CrashNode(s.Node().Name()); err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != "crashed" {
+		t.Fatalf("state = %q after node crash", s.State())
+	}
+}
+
+func TestCrashedSessionOperationsFail(t *testing.T) {
+	g := testbed(t)
+	s := startSession(t, g, baseConfig())
+	target := "compute2"
+	if s.Node().Name() == "compute2" {
+		target = "compute1"
+	}
+	crashSession(t, g, s)
+
+	if err := s.Run(guest.MicroTask(1), nil); !errors.Is(err, ErrBadSession) {
+		t.Errorf("Run on crashed session = %v, want ErrBadSession", err)
+	}
+	if err := s.Hibernate(nil); !errors.Is(err, ErrBadSession) {
+		t.Errorf("Hibernate on crashed session = %v, want ErrBadSession", err)
+	}
+	if err := s.Wake(nil); !errors.Is(err, ErrBadSession) {
+		t.Errorf("Wake on crashed session = %v, want ErrBadSession", err)
+	}
+	if err := s.Migrate(target, nil); !errors.Is(err, ErrBadSession) {
+		t.Errorf("Migrate on crashed session = %v, want ErrBadSession", err)
+	}
+	// The crashed VM is deregistered and its host's slot is not leaked
+	// back into the pool before reboot.
+	if _, err := g.Info().Lookup("vm", s.Name()); err == nil {
+		t.Error("crashed VM still registered")
+	}
+	// Shutdown of a crashed session is safe (the give-up path uses it).
+	s.Shutdown()
+	if s.State() != "dead" {
+		t.Errorf("state = %q after shutdown", s.State())
+	}
+	s.Shutdown() // idempotent
+}
+
+func TestRecoveringSessionOperationsFail(t *testing.T) {
+	g := testbed(t)
+	s := startSession(t, g, baseConfig())
+	sup := superviseSession(t, g, s, SupervisorConfig{CheckpointInterval: 30 * sim.Second})
+	if err := sup.Run(s, guest.MicroTask(600), nil); err != nil {
+		t.Fatal(err)
+	}
+	target := "compute2"
+	if s.Node().Name() == "compute2" {
+		target = "compute1"
+	}
+	g.Kernel().After(60*sim.Second, func() { _ = g.CrashNode(s.Node().Name()) })
+
+	// Step in fine quanta until the supervisor enters the failover
+	// window, then poke the session mid-recovery.
+	deadline := g.Kernel().Now().Add(10 * sim.Minute)
+	for s.State() != "recovering" && g.Kernel().Now() < deadline {
+		_ = g.Kernel().RunUntil(g.Kernel().Now().Add(100 * sim.Millisecond))
+	}
+	if s.State() != "recovering" {
+		t.Fatalf("never observed recovering state (state %q)", s.State())
+	}
+	if err := s.Run(guest.MicroTask(1), nil); !errors.Is(err, ErrBadSession) {
+		t.Errorf("Run while recovering = %v, want ErrBadSession", err)
+	}
+	if err := s.Hibernate(nil); !errors.Is(err, ErrBadSession) {
+		t.Errorf("Hibernate while recovering = %v, want ErrBadSession", err)
+	}
+	if err := s.Wake(nil); !errors.Is(err, ErrBadSession) {
+		t.Errorf("Wake while recovering = %v, want ErrBadSession", err)
+	}
+	if err := s.Migrate(target, nil); !errors.Is(err, ErrBadSession) {
+		t.Errorf("Migrate while recovering = %v, want ErrBadSession", err)
+	}
+
+	// Recovery still completes despite the poking.
+	stepUntil(g, sim.Hour, func() bool { return s.State() == "running" })
+	if s.State() != "running" {
+		t.Fatalf("session never recovered; state %q", s.State())
+	}
+	sup.Stop()
+}
+
+func TestRebootRestoresCapacity(t *testing.T) {
+	g := testbed(t)
+	s := startSession(t, g, baseConfig())
+	node := s.Node()
+	name := node.Name()
+	if err := g.CrashNode(name); err != nil {
+		t.Fatal(err)
+	}
+	if !node.Crashed() {
+		t.Fatal("node not marked crashed")
+	}
+	// Crashed nodes advertise no futures.
+	for _, e := range g.Info().FindFutures(gis.FutureQuery{}) {
+		if e.Name == name {
+			t.Errorf("crashed node %s still advertises a future", name)
+		}
+	}
+	if err := g.RebootNode(name); err != nil {
+		t.Fatal(err)
+	}
+	if node.Crashed() {
+		t.Error("node still crashed after reboot")
+	}
+	if node.Slots() != 2 {
+		t.Errorf("slots = %d after reboot, want full capacity 2", node.Slots())
+	}
+	// Crash/reboot of unknown nodes fail; double crash/reboot are no-ops.
+	if err := g.CrashNode("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("crash unknown node = %v", err)
+	}
+	if err := g.RebootNode("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("reboot unknown node = %v", err)
+	}
+	if err := g.RebootNode(name); err != nil {
+		t.Errorf("reboot healthy node = %v, want nil no-op", err)
+	}
+}

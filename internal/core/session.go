@@ -136,6 +136,10 @@ var (
 	ErrNoAddress   = errors.New("core: no address source (site DHCP or HomeNode)")
 	ErrBadSession  = errors.New("core: operation invalid in session state")
 	ErrUnknownNode = errors.New("core: unknown node")
+	// ErrLeaseExpired marks a session whose heartbeat lease lapsed — the
+	// hosting node failed — and which could not (or can no longer) be
+	// recovered by its supervisor.
+	ErrLeaseExpired = errors.New("core: session lease expired")
 )
 
 // Event is one timestamped step of the session life cycle.
@@ -163,7 +167,8 @@ type Session struct {
 	dataClient  *vfs.Client
 	imageClient *vfs.Client
 	events      []Event
-	state       string // pending, running, hibernated, dead
+	state       string // pending, running, hibernated, crashed, recovering, dead
+	crashedAt   sim.Time
 }
 
 // Name returns the session's unique name.
@@ -190,7 +195,8 @@ func (s *Session) LocalUser() string { return s.localUser }
 // locally installed images).
 func (s *Session) ImageServer() string { return s.imageServer }
 
-// State returns pending, running, hibernated, or dead.
+// State returns pending, running, hibernated, crashed, recovering, or
+// dead.
 func (s *Session) State() string { return s.state }
 
 // Events returns the life-cycle timeline.
@@ -215,11 +221,36 @@ func (s *Session) mark(step string) {
 // Run executes a workload in the session's guest and delivers the
 // result — step 6 of the life cycle.
 func (s *Session) Run(w guest.Workload, done func(guest.TaskResult)) error {
-	if s.state != "running" || s.vm == nil {
-		return fmt.Errorf("%w: run in %q", ErrBadSession, s.state)
-	}
-	_, err := s.vm.Guest().Run(w, done)
+	_, err := s.RunTask(w, done)
 	return err
+}
+
+// RunTask is Run exposing the task handle, for callers that track
+// mid-flight progress (the supervisor's checkpoint accounting).
+func (s *Session) RunTask(w guest.Workload, done func(guest.TaskResult)) (*guest.Task, error) {
+	if s.state != "running" || s.vm == nil {
+		return nil, fmt.Errorf("%w: run in %q", ErrBadSession, s.state)
+	}
+	return s.vm.Guest().Run(w, done)
+}
+
+// crash marks the session dead-in-place after its hosting node failed:
+// the VM stops, the registry entry goes away, and every bit of guest
+// state that was not checkpointed is gone. No cleanup runs on the
+// crashed node — its store is unreachable until reboot.
+func (s *Session) crash() {
+	if s.state == "dead" || s.state == "crashed" {
+		return
+	}
+	if s.vm != nil {
+		s.vm.PowerOff()
+	}
+	s.state = "crashed"
+	s.crashedAt = s.grid.k.Now()
+	s.mark("crashed")
+	s.grid.info.Deregister(gis.KindVM, s.name)
+	s.addr = ""
+	s.tunnel = nil
 }
 
 // Console returns an interactive handle description (a VNC display or
@@ -347,6 +378,7 @@ func (g *Grid) NewSession(cfg SessionConfig, done func(*Session, error)) (*Sessi
 				}
 				s.mark("ready")
 				s.state = "running"
+				g.live[s.name] = s
 				_ = g.info.Register(gis.KindVM, s.name, map[string]any{
 					gis.AttrHost: s.node.name,
 					gis.AttrAddr: s.addr,
@@ -367,7 +399,9 @@ func (g *Grid) NewSession(cfg SessionConfig, done func(*Session, error)) (*Sessi
 }
 
 func (s *Session) releaseSlot() {
-	if s.node != nil {
+	// A crashed node's slot accounting is reset wholesale at reboot;
+	// releasing into it would double-count.
+	if s.node != nil && !s.node.crashed {
 		s.node.slots++
 		s.node.advertise()
 	}
@@ -676,5 +710,6 @@ func (g *Grid) vfsClient(fromNode, toNode string) (*vfs.Client, error) {
 	if lat > 5*sim.Millisecond {
 		cfg = vfs.WANConfig()
 	}
+	cfg.Retry = g.vfsRetry
 	return vfs.NewClient(g.k, tr, cfg)
 }

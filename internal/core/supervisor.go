@@ -1,0 +1,582 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vmgrid/internal/gis"
+	"vmgrid/internal/gram"
+	"vmgrid/internal/guest"
+	"vmgrid/internal/sim"
+)
+
+// SupervisorConfig tunes the self-healing session supervisor.
+type SupervisorConfig struct {
+	// HeartbeatInterval is how often the supervisor refreshes a charge's
+	// lease (and, for crashed charges, polls for lease expiry). Default
+	// 2 s.
+	HeartbeatInterval sim.Duration
+	// LeaseTTL is the lease lifetime per refresh; a host must miss
+	// several heartbeats before its sessions are declared failed.
+	// Default 3 × HeartbeatInterval.
+	LeaseTTL sim.Duration
+	// CheckpointInterval is how often the supervisor checkpoints each
+	// charge (stop-and-copy: suspend, stage the memory image and COW
+	// diff to stable storage, resume). Default 60 s.
+	CheckpointInterval sim.Duration
+	// StableNode names the node whose store holds checkpoints. It must
+	// survive the failures the supervisor is expected to mask
+	// (typically a data server). Required.
+	StableNode string
+	// MaxRecoveries bounds failovers per session before the supervisor
+	// gives up and fails the session's tasks with ErrLeaseExpired.
+	// Default 8.
+	MaxRecoveries int
+}
+
+func (c *SupervisorConfig) fill() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 2 * sim.Second
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 3 * c.HeartbeatInterval
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 60 * sim.Second
+	}
+	if c.MaxRecoveries <= 0 {
+		c.MaxRecoveries = 8
+	}
+}
+
+// SupervisorStats aggregates what the supervisor did and what the
+// failures cost — the raw material for the recovery ablation.
+type SupervisorStats struct {
+	// Checkpoints is how many checkpoints committed to stable storage.
+	Checkpoints int
+	// CheckpointSec is total virtual time charges spent suspended or
+	// staging for checkpoints (the fault-free overhead of protection).
+	CheckpointSec float64
+	// Crashes counts lease expiries detected (one per charge per crash).
+	Crashes int
+	// Recoveries counts successful failovers.
+	Recoveries int
+	// LostWorkSec is user work retired after the last checkpoint and
+	// before the crash — work that must be replayed.
+	LostWorkSec float64
+	// RepairSec is virtual time from crash to the charge running again
+	// (detection latency + restore; excludes replay).
+	RepairSec float64
+	// GivenUp counts charges abandoned after MaxRecoveries.
+	GivenUp int
+}
+
+// supTask is one supervised workload: the original request plus the
+// progress accounting that survives failovers.
+type supTask struct {
+	w    guest.Workload
+	done func(guest.TaskResult)
+
+	task  *guest.Task
+	start sim.Time
+	// baseSec is absolute user progress (reference CPU-seconds of w) at
+	// the start of the current incarnation; ckptSec the progress
+	// captured by the last committed checkpoint.
+	baseSec float64
+	ckptSec float64
+	// remaining is the workload the current incarnation is running
+	// (w minus baseSec, I/O scaled down proportionally).
+	remaining guest.Workload
+	finished  bool
+}
+
+// charge is one supervised session.
+type charge struct {
+	s     *Session
+	tasks []*supTask
+
+	// slot is the committed checkpoint slot (0 or 1; -1 = none). The
+	// next checkpoint stages into the other slot and flips on success,
+	// so a crash mid-checkpoint never destroys the last good one.
+	slot      int
+	ckptPages []int64
+
+	hbNext        sim.EventID
+	ckNext        sim.EventID
+	checkpointing bool
+	recovering    bool
+	// lossAccounted marks that the current crash's lost work has been
+	// charged to the stats; failover retries (no target available yet)
+	// must not count the same crash again.
+	lossAccounted bool
+	recoveries    int
+	stopped       bool
+}
+
+func (c *charge) ckptFiles(slot int) (mem, cow string) {
+	return fmt.Sprintf("%s.ckpt%d.mem", c.s.name, slot),
+		fmt.Sprintf("%s.ckpt%d.cow", c.s.name, slot)
+}
+
+// Supervisor gives sessions a heartbeat lease in the information
+// service (soft state as the failure detector), periodic memory-image
+// checkpoints to stable storage, and automatic re-instantiation on a
+// surviving node when the lease expires — replaying only the work lost
+// since the last checkpoint.
+type Supervisor struct {
+	g       *Grid
+	cfg     SupervisorConfig
+	charges map[string]*charge
+	stats   SupervisorStats
+}
+
+// NewSupervisor creates a supervisor writing checkpoints to
+// cfg.StableNode.
+func NewSupervisor(g *Grid, cfg SupervisorConfig) (*Supervisor, error) {
+	cfg.fill()
+	if cfg.StableNode == "" || g.nodes[cfg.StableNode] == nil {
+		return nil, fmt.Errorf("%w: stable node %q", ErrUnknownNode, cfg.StableNode)
+	}
+	return &Supervisor{g: g, cfg: cfg, charges: make(map[string]*charge)}, nil
+}
+
+// Stats returns a snapshot of the supervisor's counters.
+func (sup *Supervisor) Stats() SupervisorStats { return sup.stats }
+
+// Adopt places a running session under supervision: registers its
+// lease, takes an immediate baseline checkpoint (so a valid checkpoint
+// exists before the first failure can strike), and starts the periodic
+// heartbeat and checkpoint ticks. done fires when the baseline
+// checkpoint commits.
+func (sup *Supervisor) Adopt(s *Session, done func(error)) error {
+	if s.State() != "running" {
+		return fmt.Errorf("%w: adopt in %q", ErrBadSession, s.State())
+	}
+	if s.cow == nil {
+		return errors.New("core: supervisor requires a non-persistent (COW) session")
+	}
+	if _, dup := sup.charges[s.name]; dup {
+		return fmt.Errorf("core: session %q already supervised", s.name)
+	}
+	c := &charge{s: s, slot: -1}
+	sup.charges[s.name] = c
+	sup.renewLease(c)
+	sup.scheduleHeartbeat(c)
+	sup.checkpoint(c, func(err error) {
+		if err == nil {
+			sup.scheduleCheckpoint(c)
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+	return nil
+}
+
+// Run starts a workload in a supervised session. The done callback sees
+// a merged result spanning failovers: UserSeconds counts the full
+// workload and Start is the original submission time, so only End (and
+// therefore Elapsed) reflects recovery delays.
+func (sup *Supervisor) Run(s *Session, w guest.Workload, done func(guest.TaskResult)) error {
+	c := sup.charges[s.name]
+	if c == nil {
+		return fmt.Errorf("core: session %q not supervised", s.name)
+	}
+	t := &supTask{w: w, done: done, start: sup.g.k.Now(), remaining: w}
+	task, err := s.RunTask(w, func(res guest.TaskResult) { sup.taskDone(c, t, res) })
+	if err != nil {
+		return err
+	}
+	t.task = task
+	c.tasks = append(c.tasks, t)
+	return nil
+}
+
+// Release ends supervision without ending the session: ticks stop and
+// the lease lapses naturally.
+func (sup *Supervisor) Release(s *Session) {
+	c := sup.charges[s.name]
+	if c == nil {
+		return
+	}
+	c.stopped = true
+	sup.g.k.Cancel(c.hbNext)
+	sup.g.k.Cancel(c.ckNext)
+	sup.g.info.Deregister(gis.KindLease, s.name)
+	delete(sup.charges, s.name)
+}
+
+// Stop releases every charge.
+func (sup *Supervisor) Stop() {
+	for _, c := range sup.charges {
+		sup.Release(c.s)
+	}
+}
+
+func (sup *Supervisor) renewLease(c *charge) {
+	host := ""
+	if c.s.node != nil {
+		host = c.s.node.name
+	}
+	_ = sup.g.info.Register(gis.KindLease, c.s.name, map[string]any{
+		gis.AttrHost: host,
+	}, sup.cfg.LeaseTTL)
+}
+
+func (sup *Supervisor) scheduleHeartbeat(c *charge) {
+	c.hbNext = sup.g.k.After(sup.cfg.HeartbeatInterval, func() { sup.heartbeat(c) })
+}
+
+func (sup *Supervisor) scheduleCheckpoint(c *charge) {
+	c.ckNext = sup.g.k.After(sup.cfg.CheckpointInterval, func() {
+		sup.scheduleCheckpoint(c)
+		sup.checkpoint(c, nil)
+	})
+}
+
+// heartbeat is the supervisor's periodic tick for one charge: refresh
+// the lease while the host is healthy, detect expiry once it is not.
+func (sup *Supervisor) heartbeat(c *charge) {
+	if c.stopped {
+		return
+	}
+	s := c.s
+	switch s.State() {
+	case "dead":
+		sup.Release(s)
+		return
+	case "running", "hibernated":
+		sup.renewLease(c)
+	case "crashed":
+		if !c.recovering {
+			if _, err := sup.g.info.Lookup(gis.KindLease, s.name); err != nil {
+				sup.failover(c)
+			}
+		}
+	}
+	sup.scheduleHeartbeat(c)
+}
+
+// progressSec returns a task's absolute user progress right now, in
+// reference CPU-seconds of the original workload.
+func (t *supTask) progressSec() float64 {
+	if t.finished {
+		return t.w.CPUSeconds
+	}
+	if t.task == nil {
+		return t.baseSec
+	}
+	return t.baseSec + t.task.Progress()*t.remaining.CPUSeconds
+}
+
+// checkpoint runs one stop-and-copy checkpoint: suspend the VM (memory
+// image lands in the node store), record task progress and COW
+// occupancy, stage both state files into the spare slot on the stable
+// node, flip the slot, resume. A crash mid-checkpoint leaves the
+// previous slot intact.
+func (sup *Supervisor) checkpoint(c *charge, done func(error)) {
+	finish := func(err error) {
+		if done != nil {
+			done(err)
+		}
+	}
+	s := c.s
+	if c.stopped || c.recovering || c.checkpointing || s.State() != "running" {
+		finish(fmt.Errorf("%w: checkpoint in %q", ErrBadSession, s.State()))
+		return
+	}
+	c.checkpointing = true
+	suspendedAt := sup.g.k.Now()
+	unlock := func(err error) {
+		c.checkpointing = false
+		sup.stats.CheckpointSec += sup.g.k.Now().Sub(suspendedAt).Seconds()
+		finish(err)
+	}
+	if err := s.vm.Suspend(func(err error) {
+		if err != nil {
+			unlock(err)
+			return
+		}
+		// Progress and disk state are now frozen; snapshot both.
+		snap := make([]float64, len(c.tasks))
+		for i, t := range c.tasks {
+			snap[i] = t.progressSec()
+		}
+		pages := s.cow.WrittenPages()
+		spare := 0
+		if c.slot == 0 {
+			spare = 1
+		}
+		sup.stageCheckpoint(c, spare, func(err error) {
+			if err == nil {
+				c.slot = spare
+				c.ckptPages = pages
+				// Tasks submitted while we staged are not in this image;
+				// only the snapshot's prefix advances (append-only list).
+				for i := range snap {
+					c.tasks[i].ckptSec = snap[i]
+				}
+				sup.stats.Checkpoints++
+			}
+			// The node may have crashed while we staged; only a VM still
+			// sitting suspended resumes.
+			if s.vm != nil && s.State() == "running" {
+				if uerr := s.vm.Unpause(); uerr != nil && err == nil {
+					err = uerr
+				}
+			}
+			unlock(err)
+		})
+	}); err != nil {
+		c.checkpointing = false
+		finish(err)
+	}
+}
+
+// stageCheckpoint copies the session's .mem and .cow files into the
+// given checkpoint slot on the stable node.
+func (sup *Supervisor) stageCheckpoint(c *charge, slot int, done func(error)) {
+	s := c.s
+	stable := sup.g.nodes[sup.cfg.StableNode]
+	memName, cowName := c.ckptFiles(slot)
+	for _, f := range []string{memName, cowName} {
+		if stable.store.Has(f) {
+			_ = stable.store.Delete(f)
+		}
+	}
+	if err := gram.Stage(sup.g.net, s.node.name, s.node.store, s.name+".mem",
+		stable.name, stable.store, memName, func(err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			if err := gram.Stage(sup.g.net, s.node.name, s.node.store, s.name+".cow",
+				stable.name, stable.store, cowName, done); err != nil {
+				done(err)
+			}
+		}); err != nil {
+		done(err)
+	}
+}
+
+// failover recovers a crashed charge: account the lost work, pick a
+// surviving compute node holding the base image, stage the last
+// checkpoint there, dispatch a restore job through GRAM (with retry —
+// the fabric may still be flaky), and resubmit the remaining work.
+func (sup *Supervisor) failover(c *charge) {
+	s := c.s
+	if !c.lossAccounted {
+		c.lossAccounted = true
+		sup.stats.Crashes++
+		for _, t := range c.tasks {
+			if t.finished {
+				continue
+			}
+			if lost := t.progressSec() - t.ckptSec; lost > 0 {
+				sup.stats.LostWorkSec += lost
+			}
+		}
+	}
+	if c.slot < 0 || c.recoveries >= sup.cfg.MaxRecoveries {
+		sup.giveUp(c)
+		return
+	}
+	c.recovering = true
+	c.checkpointing = false // a checkpoint in flight died with the node
+	s.state = "recovering"
+	s.mark("recovering")
+
+	target := sup.pickTarget(s)
+	if target == nil {
+		// Nothing can host the session right now (all candidates down or
+		// full). Back off one lease and let the heartbeat re-detect; this
+		// attempt does not count against MaxRecoveries.
+		s.state = "crashed"
+		sup.g.k.After(sup.cfg.LeaseTTL, func() { c.recovering = false })
+		return
+	}
+	c.recoveries++
+	target.slots--
+	target.advertise()
+
+	abort := func(err error) {
+		_ = err
+		target.slots++
+		target.advertise()
+		s.state = "crashed"
+		sup.g.k.After(sup.cfg.LeaseTTL, func() { c.recovering = false })
+	}
+
+	memName, cowName := c.ckptFiles(c.slot)
+	stable := sup.g.nodes[sup.cfg.StableNode]
+	for _, f := range []string{s.name + ".mem", s.name + ".cow"} {
+		if target.store.Has(f) {
+			_ = target.store.Delete(f)
+		}
+	}
+	if err := gram.Stage(sup.g.net, stable.name, stable.store, memName,
+		target.name, target.store, s.name+".mem", func(err error) {
+			if err != nil {
+				abort(err)
+				return
+			}
+			if err := gram.Stage(sup.g.net, stable.name, stable.store, cowName,
+				target.name, target.store, s.name+".cow", func(err error) {
+					if err != nil {
+						abort(err)
+						return
+					}
+					sup.dispatchRestore(c, target)
+				}); err != nil {
+				abort(err)
+			}
+		}); err != nil {
+		abort(err)
+	}
+}
+
+// pickTarget queries the information service for a surviving VM future
+// that holds the session's base image.
+func (sup *Supervisor) pickTarget(s *Session) *Node {
+	futures := sup.g.info.FindFutures(gis.FutureQuery{
+		MinMemBytes: s.cfg.MemBytes,
+		Site:        s.cfg.Site,
+	})
+	for _, e := range futures {
+		n := sup.g.nodes[e.Name]
+		if n == nil || n.crashed || n.gk == nil || n.slots <= 0 {
+			continue
+		}
+		if _, ok := n.Image(s.cfg.Image); !ok {
+			continue
+		}
+		return n
+	}
+	return nil
+}
+
+// dispatchRestore submits the restore job through GRAM from the
+// session's front end and, on success, resubmits the remaining work.
+func (sup *Supervisor) dispatchRestore(c *charge, target *Node) {
+	s := c.s
+	front := sup.g.nodes[s.cfg.FrontEnd]
+	abort := func(err error) {
+		target.slots++
+		target.advertise()
+		s.state = "crashed"
+		sup.g.k.After(sup.cfg.LeaseTTL, func() { c.recovering = false })
+		_ = err
+	}
+	if front == nil || front.crashed {
+		abort(fmt.Errorf("%w: front end %q", ErrUnknownNode, s.cfg.FrontEnd))
+		return
+	}
+	client, err := gram.NewClient(sup.g.net, sup.g.registry, front.name, front.host)
+	if err != nil {
+		abort(err)
+		return
+	}
+	job := gram.Job{
+		Name: "restore-vm:" + s.name,
+		User: s.cfg.User,
+		Run: func(jobDone func(error)) {
+			s.restoreFrom(target, c.ckptPages, jobDone)
+		},
+	}
+	retry := gram.RetryPolicy{MaxAttempts: 4, Backoff: 500 * sim.Millisecond, MaxBackoff: 4 * sim.Second}
+	if err := client.SubmitRetry(target.name, job, retry, func(err error) {
+		if err != nil {
+			abort(err)
+			return
+		}
+		sup.resume(c)
+	}); err != nil {
+		abort(err)
+	}
+}
+
+// resume restarts the unfinished work of a freshly restored charge from
+// its checkpointed progress and re-arms the lease and ticks.
+func (sup *Supervisor) resume(c *charge) {
+	s := c.s
+	now := sup.g.k.Now()
+	sup.stats.Recoveries++
+	sup.stats.RepairSec += now.Sub(s.crashedAt).Seconds()
+	for _, t := range c.tasks {
+		if t.finished {
+			continue
+		}
+		t.baseSec = t.ckptSec
+		rem := t.w
+		rem.CPUSeconds = t.w.CPUSeconds - t.baseSec
+		if rem.CPUSeconds < 1e-3 {
+			rem.CPUSeconds = 1e-3
+		}
+		frac := rem.CPUSeconds / t.w.CPUSeconds
+		rem.Reads = int(float64(t.w.Reads) * frac)
+		rem.ReadBytes = int64(float64(t.w.ReadBytes) * frac)
+		rem.Writes = int(float64(t.w.Writes) * frac)
+		rem.WriteBytes = int64(float64(t.w.WriteBytes) * frac)
+		rem.RootOps = int(float64(t.w.RootOps) * frac)
+		rem.RootBytes = int64(float64(t.w.RootBytes) * frac)
+		t.remaining = rem
+		t.task = nil
+		task, err := s.RunTask(rem, func(res guest.TaskResult) { sup.taskDone(c, t, res) })
+		if err != nil {
+			// The restore raced another failure; fail the task rather
+			// than lose it silently.
+			t.finished = true
+			if t.done != nil {
+				t.done(guest.TaskResult{
+					Workload: t.w, Start: t.start, End: now,
+					UserSeconds: t.baseSec,
+					Err:         fmt.Errorf("%w: resubmit: %v", ErrLeaseExpired, err),
+				})
+			}
+			continue
+		}
+		t.task = task
+	}
+	c.recovering = false
+	c.lossAccounted = false
+	sup.renewLease(c)
+}
+
+// taskDone merges an incarnation's result into the original request's
+// frame of reference and delivers it.
+func (sup *Supervisor) taskDone(c *charge, t *supTask, res guest.TaskResult) {
+	if t.finished {
+		return
+	}
+	t.finished = true
+	res.Workload = t.w
+	res.Start = t.start
+	res.UserSeconds += t.baseSec
+	if t.done != nil {
+		t.done(res)
+	}
+	_ = c
+}
+
+// giveUp abandons recovery: every unfinished task fails with
+// ErrLeaseExpired and the session shuts down.
+func (sup *Supervisor) giveUp(c *charge) {
+	s := c.s
+	now := sup.g.k.Now()
+	sup.stats.GivenUp++
+	for _, t := range c.tasks {
+		if t.finished {
+			continue
+		}
+		t.finished = true
+		if t.done != nil {
+			t.done(guest.TaskResult{
+				Workload: t.w, Start: t.start, End: now,
+				UserSeconds: t.ckptSec,
+				Err:         fmt.Errorf("%w: %s", ErrLeaseExpired, s.name),
+			})
+		}
+	}
+	sup.Release(s)
+	s.Shutdown()
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import "testing"
+
+// TestAblationRecoveryMonotoneInInterval is the ablation's headline
+// claim: within each failure rate, shrinking the checkpoint interval
+// shrinks both the work replayed per recovery and the MTTR. (The paired
+// design replays one crash schedule across the interval arms, and the
+// intervals divide each other, so per-crash lost work is ordered almost
+// surely — any inversion means the checkpoint accounting broke.)
+func TestAblationRecoveryMonotoneInInterval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full recovery sweep in -short mode")
+	}
+	rows, err := AblationRecovery(3, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMTBF := make(map[float64][]RecoveryRow)
+	var order []float64
+	for _, r := range rows {
+		if _, seen := byMTBF[r.MTBFSec]; !seen {
+			order = append(order, r.MTBFSec)
+		}
+		byMTBF[r.MTBFSec] = append(byMTBF[r.MTBFSec], r)
+	}
+	for _, mtbf := range order {
+		group := byMTBF[mtbf]
+		if len(group) < 2 {
+			t.Fatalf("mtbf=%v: only %d interval rows", mtbf, len(group))
+		}
+		crashes := 0.0
+		for i, r := range group {
+			crashes += r.Crashes
+			if i == 0 {
+				continue
+			}
+			prev := group[i-1]
+			if prev.IntervalSec >= r.IntervalSec {
+				t.Fatalf("mtbf=%v: rows not in ascending interval order", mtbf)
+			}
+			if prev.LostWorkSec > r.LostWorkSec {
+				t.Errorf("mtbf=%v: lost work %.1fs at ckpt=%.0fs > %.1fs at ckpt=%.0fs",
+					mtbf, prev.LostWorkSec, prev.IntervalSec, r.LostWorkSec, r.IntervalSec)
+			}
+			if prev.MTTRSec > r.MTTRSec {
+				t.Errorf("mtbf=%v: MTTR %.1fs at ckpt=%.0fs > %.1fs at ckpt=%.0fs",
+					mtbf, prev.MTTRSec, prev.IntervalSec, r.MTTRSec, r.IntervalSec)
+			}
+		}
+		if crashes == 0 {
+			t.Errorf("mtbf=%v: no crashes across the whole cell; fault injection inert", mtbf)
+		}
+		first, last := group[0], group[len(group)-1]
+		if !(first.LostWorkSec < last.LostWorkSec) {
+			t.Errorf("mtbf=%v: lost work not strictly lower at %.0fs (%.1fs) than at %.0fs (%.1fs)",
+				mtbf, first.IntervalSec, first.LostWorkSec, last.IntervalSec, last.LostWorkSec)
+		}
+		if !(first.MTTRSec < last.MTTRSec) {
+			t.Errorf("mtbf=%v: MTTR not strictly lower at %.0fs (%.1fs) than at %.0fs (%.1fs)",
+				mtbf, first.IntervalSec, first.MTTRSec, last.IntervalSec, last.MTTRSec)
+		}
+		for _, r := range group {
+			if r.Availability <= 0 || r.Availability > 1 {
+				t.Errorf("mtbf=%v ckpt=%.0fs: availability %.4f out of (0, 1]",
+					mtbf, r.IntervalSec, r.Availability)
+			}
+			if r.CompletionSec < recoveryTaskSec {
+				t.Errorf("mtbf=%v ckpt=%.0fs: completion %.1fs below the task's %d user-seconds",
+					mtbf, r.IntervalSec, r.CompletionSec, recoveryTaskSec)
+			}
+		}
+	}
+}

@@ -207,6 +207,12 @@ func TestAblationPredictorsWorkerInvariant(t *testing.T) {
 	})
 }
 
+func TestAblationRecoveryWorkerInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "recovery", func(workers int) ([]RecoveryRow, error) {
+		return AblationRecovery(3, 2, workers)
+	})
+}
+
 func TestAblationOverlayWorkerInvariant(t *testing.T) {
 	assertWorkerInvariant(t, "overlay", func(workers int) ([]OverlayRow, error) {
 		return AblationOverlay(3, workers)

@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"vmgrid/internal/sim"
+	"vmgrid/internal/vfs"
+)
+
+// FlakyTransport wraps a vfs.Transport with injectable RPC loss and
+// delay. A dropped RPC simply never completes — neither request nor
+// reply arrives — which is exactly the failure the client's per-op
+// timeout and retry policy exist to absorb. Loss decisions come from
+// the injector-style seeded RNG, so a given seed drops the same RPCs
+// every run.
+type FlakyTransport struct {
+	k     *sim.Kernel
+	rng   *sim.RNG
+	inner vfs.Transport
+
+	dropProb float64
+	delay    sim.Duration
+	down     bool
+
+	dropped uint64
+	delayed uint64
+}
+
+var _ vfs.Transport = (*FlakyTransport)(nil)
+
+// NewFlakyTransport wraps inner with a seeded fault stream.
+func NewFlakyTransport(k *sim.Kernel, inner vfs.Transport, seed uint64) *FlakyTransport {
+	return &FlakyTransport{k: k, rng: sim.NewRNG(seed), inner: inner}
+}
+
+// SetDropProb sets the probability that any single RPC vanishes.
+func (t *FlakyTransport) SetDropProb(p float64) { t.dropProb = p }
+
+// SetDelay adds a fixed extra delay to every RPC (slow path, not loss).
+func (t *FlakyTransport) SetDelay(d sim.Duration) { t.delay = d }
+
+// SetDown hard-fails the transport: while down, every RPC is dropped.
+func (t *FlakyTransport) SetDown(down bool) { t.down = down }
+
+// Dropped returns how many RPCs vanished.
+func (t *FlakyTransport) Dropped() uint64 { return t.dropped }
+
+// Delayed returns how many RPCs were slowed.
+func (t *FlakyTransport) Delayed() uint64 { return t.delayed }
+
+func (t *FlakyTransport) issue(op func()) bool {
+	if t.down || (t.dropProb > 0 && t.rng.Float64() < t.dropProb) {
+		t.dropped++
+		return false
+	}
+	if t.delay > 0 {
+		t.delayed++
+		t.k.After(t.delay, op)
+		return true
+	}
+	op()
+	return true
+}
+
+// Read implements vfs.Transport.
+func (t *FlakyTransport) Read(file string, off, size int64, done func(error)) {
+	t.issue(func() { t.inner.Read(file, off, size, done) })
+}
+
+// Write implements vfs.Transport.
+func (t *FlakyTransport) Write(file string, off, size int64, done func(error)) {
+	t.issue(func() { t.inner.Write(file, off, size, done) })
+}

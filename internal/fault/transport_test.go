@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"testing"
+
+	"vmgrid/internal/hostos"
+	"vmgrid/internal/hw"
+	"vmgrid/internal/netsim"
+	"vmgrid/internal/sim"
+	"vmgrid/internal/storage"
+	"vmgrid/internal/vfs"
+)
+
+// flakyWorld wires a vfs client to a real server through a
+// FlakyTransport over a LAN.
+func flakyWorld(t *testing.T, seed uint64) (*sim.Kernel, *vfs.Client, *FlakyTransport) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	n := netsim.New(k)
+	n.AddNode("server")
+	n.AddNode("client")
+	if err := n.ConnectLAN("client", "server"); err != nil {
+		t.Fatal(err)
+	}
+	host, err := hostos.New(k, hw.ReferenceMachine("server"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := storage.NewStore(host)
+	if err := store.Create("data", 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	inner, err := vfs.NewNetTransport(n, "client", "server", vfs.NewServer(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := NewFlakyTransport(k, inner, seed)
+	cfg := vfs.LANConfig()
+	cfg.Retry = vfs.RetryPolicy{
+		MaxAttempts: 6, Timeout: sim.Second, Backoff: 20 * sim.Millisecond,
+	}
+	client, err := vfs.NewClient(k, flaky, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, client, flaky
+}
+
+func TestFlakyTransportLossAbsorbedByRetry(t *testing.T) {
+	k, client, flaky := flakyWorld(t, 7)
+	flaky.SetDropProb(0.3)
+	file := client.Open("data", 1<<30)
+	done := 0
+	for i := 0; i < 20; i++ {
+		file.Read(int64(i)*(1<<20), 64<<10, func() { done++ })
+	}
+	_ = k.RunUntil(k.Now().Add(10 * sim.Minute))
+	if done != 20 {
+		t.Fatalf("completed %d/20 reads", done)
+	}
+	if flaky.Dropped() == 0 {
+		t.Fatal("no RPCs dropped at p=0.3; fault injection inert")
+	}
+	if client.Retries() == 0 {
+		t.Error("drops absorbed without retries?")
+	}
+	if client.TransportErrors() != 0 {
+		t.Errorf("TransportErrors = %d; the retry budget should have absorbed p=0.3 loss",
+			client.TransportErrors())
+	}
+}
+
+func TestFlakyTransportDeterministicPerSeed(t *testing.T) {
+	run := func() (uint64, uint64) {
+		k, client, flaky := flakyWorld(t, 7)
+		flaky.SetDropProb(0.3)
+		file := client.Open("data", 1<<30)
+		for i := 0; i < 20; i++ {
+			file.Read(int64(i)*(1<<20), 64<<10, nil)
+		}
+		_ = k.RunUntil(k.Now().Add(10 * sim.Minute))
+		return flaky.Dropped(), client.Retries()
+	}
+	d1, r1 := run()
+	d2, r2 := run()
+	if d1 != d2 || r1 != r2 {
+		t.Errorf("fault stream not reproducible: drops %d vs %d, retries %d vs %d", d1, d2, r1, r2)
+	}
+}
+
+func TestFlakyTransportDown(t *testing.T) {
+	k, client, flaky := flakyWorld(t, 1)
+	flaky.SetDown(true)
+	file := client.Open("data", 1<<30)
+	done := false
+	file.Read(0, 4<<10, func() { done = true })
+	_ = k.RunUntil(k.Now().Add(sim.Minute))
+	if !done {
+		t.Fatal("read hung instead of failing soft after retry exhaustion")
+	}
+	if client.TransportErrors() == 0 {
+		t.Error("hard-down transport produced no transport errors")
+	}
+	flaky.SetDown(false)
+	done = false
+	file.Read(1<<20, 4<<10, func() { done = true })
+	_ = k.RunUntil(k.Now().Add(sim.Minute))
+	if !done {
+		t.Fatal("read failed after transport came back")
+	}
+}
+
+func TestFlakyTransportDelayOnly(t *testing.T) {
+	k, client, flaky := flakyWorld(t, 1)
+	flaky.SetDelay(50 * sim.Millisecond)
+	file := client.Open("data", 1<<30)
+	start := k.Now()
+	var end sim.Time
+	file.Read(0, 4<<10, func() { end = k.Now() })
+	_ = k.RunUntil(k.Now().Add(sim.Minute))
+	if end == 0 {
+		t.Fatal("read never completed")
+	}
+	if elapsed := end.Sub(start); elapsed < 50*sim.Millisecond {
+		t.Errorf("elapsed %v, want ≥ the injected 50ms delay", elapsed)
+	}
+	if flaky.Delayed() == 0 {
+		t.Error("no RPCs recorded as delayed")
+	}
+	if client.Retries() != 0 {
+		t.Errorf("delay (not loss) caused %d retries; timeout too tight", client.Retries())
+	}
+}

@@ -24,6 +24,11 @@ const (
 	KindVM          Kind = "vm"        // live VM instances
 	KindImageServer Kind = "image-server"
 	KindDataServer  Kind = "data-server"
+	// KindLease carries session heartbeat leases: the supervisor
+	// re-registers them with a TTL, so a crashed host's sessions fall out
+	// of the registry once the lease expires — soft state as the failure
+	// detector.
+	KindLease Kind = "lease"
 )
 
 // Entry is one registered record. Attrs values are strings, int64s, or

@@ -16,6 +16,7 @@ import (
 
 	"vmgrid/internal/hostos"
 	"vmgrid/internal/netsim"
+	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 )
 
@@ -34,6 +35,11 @@ const (
 var (
 	ErrNoGatekeeper = errors.New("gram: no gatekeeper at node")
 	ErrDenied       = errors.New("gram: authorization denied")
+	// ErrUnavailable wraps failures that occurred before the job was
+	// dispatched (the gatekeeper could not be reached), so the job never
+	// ran and resubmitting is safe. Failures after dispatch — a lost
+	// completion notification — are NOT wrapped: the job may have run.
+	ErrUnavailable = errors.New("gram: gatekeeper unavailable")
 )
 
 // Job is the unit of dispatch: middleware-visible work that eventually
@@ -149,7 +155,7 @@ func (c *Client) Submit(serverNode string, job Job, done func(error)) error {
 	proc := c.host.Spawn("globusrun:" + job.Name)
 	proc.RunWork(ClientSetupWork, func() {
 		proc.Exit()
-		err := c.net.Send(c.node, serverNode, ControlMsgBytes, nil, func(any) {
+		sendErr := c.net.Send(c.node, serverNode, ControlMsgBytes, nil, func(any) {
 			if err := gk.Submit(job, func(jobErr error) {
 				// Completion notification travels back.
 				if sendErr := c.net.Send(serverNode, c.node, ControlMsgBytes, nil, func(any) {
@@ -166,11 +172,63 @@ func (c *Client) Submit(serverNode string, job Job, done func(error)) error {
 				}
 			}
 		})
-		if err != nil {
-			fail(err)
+		if sendErr != nil {
+			// The request never left: the job did not run, so this is the
+			// retry-safe failure class.
+			fail(fmt.Errorf("%w: %v", ErrUnavailable, sendErr))
 		}
 	})
 	return nil
+}
+
+// RetryPolicy caps SubmitRetry's backoff schedule.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of submissions (values ≤ 1 disable
+	// retry).
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; it doubles per
+	// retry, capped at MaxBackoff. Zero uses 500 ms.
+	Backoff sim.Duration
+	// MaxBackoff caps the doubling (0 = uncapped).
+	MaxBackoff sim.Duration
+}
+
+// SubmitRetry submits like Submit but reissues transient failures —
+// ErrUnavailable, meaning the request never reached the gatekeeper and
+// the job did not run — with capped exponential backoff. Job errors and
+// fatal control-path errors pass through unchanged after the first
+// attempt. The final error keeps its ErrUnavailable wrapping so callers
+// can distinguish "gave up retrying" from "the job failed".
+func (c *Client) SubmitRetry(serverNode string, job Job, p RetryPolicy, done func(error)) error {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	backoff := p.Backoff
+	if backoff <= 0 {
+		backoff = 500 * sim.Millisecond
+	}
+	k := c.host.Kernel()
+	var attempt func(n int, wait sim.Duration) error
+	attempt = func(n int, wait sim.Duration) error {
+		return c.Submit(serverNode, job, func(err error) {
+			if err != nil && errors.Is(err, ErrUnavailable) && n < p.MaxAttempts {
+				next := wait * 2
+				if p.MaxBackoff > 0 && next > p.MaxBackoff {
+					next = p.MaxBackoff
+				}
+				k.After(wait, func() {
+					if retryErr := attempt(n+1, next); retryErr != nil && done != nil {
+						done(retryErr)
+					}
+				})
+				return
+			}
+			if done != nil {
+				done(err)
+			}
+		})
+	}
+	return attempt(1, backoff)
 }
 
 // stageChunk is the transfer unit of explicit staging.

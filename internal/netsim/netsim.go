@@ -11,6 +11,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"vmgrid/internal/sim"
 )
@@ -35,6 +36,7 @@ type Network struct {
 	nodes  map[string]*Node
 	routes map[string]map[string]string // routes[src][dst] = next hop
 	dirty  bool
+	drops  uint64
 }
 
 // New creates an empty network.
@@ -93,7 +95,11 @@ func (n *Network) ConnectWAN(a, b string) error {
 }
 
 // SetLinkUp marks the a<->b link up or down (failure injection). Routing
-// recomputes around down links; messages already in flight still arrive.
+// recomputes around down links immediately: the cached next-hop table is
+// invalidated, so partitions take effect mid-simulation. Messages already
+// queued on the link still cross it (store-and-forward), but if their
+// onward route vanished by arrival time they are dropped and counted in
+// Drops.
 func (n *Network) SetLinkUp(a, b string, up bool) error {
 	na, nb := n.nodes[a], n.nodes[b]
 	if na == nil || nb == nil {
@@ -108,6 +114,28 @@ func (n *Network) SetLinkUp(a, b string, up bool) error {
 	n.dirty = true
 	return nil
 }
+
+// SetNodeUp fails (or restores) every link attached to a node at once —
+// the network face of a fail-stop node crash. Restoring brings all the
+// node's links up, including any that were downed individually before.
+func (n *Network) SetNodeUp(name string, up bool) error {
+	nd := n.nodes[name]
+	if nd == nil {
+		return fmt.Errorf("netsim: set node %q: unknown node", name)
+	}
+	for peer, l := range nd.links {
+		l.down = !up
+		if back := n.nodes[peer].links[name]; back != nil {
+			back.down = !up
+		}
+	}
+	n.dirty = true
+	return nil
+}
+
+// Drops returns messages discarded mid-path because their route
+// disappeared while they were in flight.
+func (n *Network) Drops() uint64 { return n.drops }
 
 // BuildLAN creates the named nodes (if needed) and joins them through an
 // implicit switch: every pair is one LAN hop apart.
@@ -147,7 +175,11 @@ func (n *Network) Send(src, dst string, size int64, payload any, deliver func(pa
 
 func (n *Network) forward(from *Node, dst string, size int64, payload any, deliver func(any)) error {
 	if from.name == dst {
-		n.k.After(0, func() { deliver(payload) })
+		n.k.After(0, func() {
+			if deliver != nil {
+				deliver(payload)
+			}
+		})
 		return nil
 	}
 	n.ensureRoutes()
@@ -157,9 +189,14 @@ func (n *Network) forward(from *Node, dst string, size int64, payload any, deliv
 	}
 	l := from.links[hop]
 	l.transmit(size, func() {
-		// Errors cannot occur past the first hop: the route table only
-		// contains fully connected paths.
-		_ = n.forward(l.to, dst, size, payload, deliver)
+		// The route is re-consulted at every store-and-forward hop. If a
+		// link failed while the message was on the wire, the onward route
+		// may be gone by arrival time: the message is dropped, exactly as
+		// a router with no route would drop it. End-to-end recovery is the
+		// caller's job (vfs per-op timeouts and retries).
+		if err := n.forward(l.to, dst, size, payload, deliver); err != nil {
+			n.drops++
+		}
 	})
 	return nil
 }
@@ -196,6 +233,9 @@ func (n *Network) ensureRoutes() {
 		return
 	}
 	n.routes = make(map[string]map[string]string, len(n.nodes))
+	// Neighbors expand in sorted name order so equal-cost ties resolve
+	// identically on every rebuild — fault injection recomputes routes
+	// mid-run, and route choice must not depend on map iteration order.
 	for name, node := range n.nodes {
 		next := make(map[string]string)
 		// BFS from node; record first hop toward every destination.
@@ -205,8 +245,8 @@ func (n *Network) ensureRoutes() {
 		}
 		visited := map[string]bool{name: true}
 		var queue []qe
-		for peer, l := range node.links {
-			if l.down || visited[peer] {
+		for _, peer := range node.peers() {
+			if node.links[peer].down || visited[peer] {
 				continue
 			}
 			visited[peer] = true
@@ -216,8 +256,8 @@ func (n *Network) ensureRoutes() {
 		for len(queue) > 0 {
 			cur := queue[0]
 			queue = queue[1:]
-			for peer, l := range cur.at.links {
-				if l.down || visited[peer] {
+			for _, peer := range cur.at.peers() {
+				if cur.at.links[peer].down || visited[peer] {
 					continue
 				}
 				visited[peer] = true
@@ -242,6 +282,16 @@ func (nd *Node) Name() string { return nd.name }
 
 // Degree returns the number of attached links.
 func (nd *Node) Degree() int { return len(nd.links) }
+
+// peers returns the neighbor names in sorted order.
+func (nd *Node) peers() []string {
+	out := make([]string, 0, len(nd.links))
+	for peer := range nd.links {
+		out = append(out, peer)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // link is one direction of a connection. Transmissions serialize: the
 // wire carries one message at a time at full bandwidth.

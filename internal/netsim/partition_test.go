@@ -1,0 +1,170 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"vmgrid/internal/sim"
+)
+
+// TestPartitionRoundTrip is the fault fabric's core contract: a link
+// taken down mid-simulation invalidates cached routes immediately
+// (sends fail with ErrNoRoute), and bringing it back restores
+// reachability — all driven by scheduled events, not between-run
+// reconfiguration.
+func TestPartitionRoundTrip(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	n.AddNode("a")
+	n.AddNode("b")
+	if err := n.ConnectLAN("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the route cache before the partition.
+	if err := n.Send("a", "b", 1024, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var during, after error
+	deliveredAfter := false
+	k.After(sim.Second, func() {
+		if err := n.SetLinkUp("a", "b", false); err != nil {
+			t.Errorf("SetLinkUp(false): %v", err)
+		}
+		during = n.Send("a", "b", 1024, nil, func(any) {
+			t.Error("delivery across a downed link")
+		})
+	})
+	k.After(2*sim.Second, func() {
+		if err := n.SetLinkUp("a", "b", true); err != nil {
+			t.Errorf("SetLinkUp(true): %v", err)
+		}
+		after = n.Send("a", "b", 1024, nil, func(any) { deliveredAfter = true })
+	})
+	k.Run()
+
+	if !errors.Is(during, ErrNoRoute) {
+		t.Errorf("send during partition = %v, want ErrNoRoute (stale route cache?)", during)
+	}
+	if after != nil {
+		t.Errorf("send after heal = %v", after)
+	}
+	if !deliveredAfter {
+		t.Error("no delivery after the partition healed")
+	}
+}
+
+func TestSetNodeUpFailsEveryLink(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	for _, name := range []string{"hub", "x", "y"} {
+		n.AddNode(name)
+	}
+	if err := n.ConnectLAN("hub", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ConnectLAN("hub", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetNodeUp("ghost", false); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := n.SetNodeUp("hub", false); err != nil {
+		t.Fatal(err)
+	}
+	for _, peer := range []string{"x", "y"} {
+		if _, err := n.Latency("hub", peer, 1024); !errors.Is(err, ErrNoRoute) {
+			t.Errorf("hub→%s after SetNodeUp(false) = %v, want ErrNoRoute", peer, err)
+		}
+	}
+	// x and y were only connected through the hub.
+	if _, err := n.Latency("x", "y", 1024); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("x→y via downed hub = %v, want ErrNoRoute", err)
+	}
+	if err := n.SetNodeUp("hub", true); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{{"hub", "x"}, {"hub", "y"}, {"x", "y"}} {
+		if _, err := n.Latency(pair[0], pair[1], 1024); err != nil {
+			t.Errorf("%s→%s after SetNodeUp(true) = %v", pair[0], pair[1], err)
+		}
+	}
+}
+
+// TestMidFlightDropCounted covers the store-and-forward edge: a packet
+// already past its first hop when the next link fails is dropped (and
+// counted), never delivered and never erroring back to the sender —
+// end-to-end recovery belongs to the transport above.
+func TestMidFlightDropCounted(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	for _, name := range []string{"a", "r1", "r2", "b"} {
+		n.AddNode(name)
+	}
+	// Slow middle hop so the packet is still crossing r1→r2 when the
+	// onward r2→b link fails ahead of it.
+	if err := n.Connect("a", "r1", sim.Millisecond, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("r1", "r2", sim.Millisecond, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("r2", "b", sim.Millisecond, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	if err := n.Send("a", "b", 1e6, nil, func(any) { delivered = true }); err != nil {
+		t.Fatal(err)
+	}
+	// The packet clears a→r1 quickly, then spends ~1s on r1→r2; cut the
+	// route ahead of it while it is on the wire.
+	k.After(100*sim.Millisecond, func() {
+		if err := n.SetLinkUp("r2", "b", false); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	if delivered {
+		t.Fatal("packet delivered across a link that failed mid-flight")
+	}
+	if n.Drops() != 1 {
+		t.Errorf("Drops() = %d, want 1", n.Drops())
+	}
+}
+
+// TestRoutingDeterministicUnderEqualCost: equal-cost paths must break
+// ties identically across runs (sorted-neighbor BFS), or seeded
+// experiments diverge.
+func TestRoutingDeterministicUnderEqualCost(t *testing.T) {
+	build := func() (*Network, *sim.Kernel) {
+		k := sim.NewKernel(1)
+		n := New(k)
+		for _, name := range []string{"s", "m1", "m2", "m3", "d"} {
+			n.AddNode(name)
+		}
+		for _, m := range []string{"m1", "m2", "m3"} {
+			if err := n.ConnectLAN("s", m); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.ConnectLAN(m, "d"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return n, k
+	}
+	n1, k1 := build()
+	n2, k2 := build()
+	var t1, t2 sim.Time
+	if err := n1.Send("s", "d", 1e6, nil, func(any) { t1 = k1.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.Send("s", "d", 1e6, nil, func(any) { t2 = k2.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	k1.Run()
+	k2.Run()
+	if t1 != t2 || t1 == 0 {
+		t.Errorf("equal-cost delivery times differ: %v vs %v", t1, t2)
+	}
+}

@@ -2,11 +2,54 @@ package vfs
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 )
+
+// Sentinel errors callers match with errors.Is.
+var (
+	// ErrUnavailable wraps the last transport error once the retry policy
+	// is exhausted: the server is treated as down, not merely slow.
+	ErrUnavailable = errors.New("vfs: server unavailable")
+	// ErrTimeout marks an RPC attempt abandoned by the per-op timeout
+	// (the reply may still be in flight; it is ignored if it arrives).
+	ErrTimeout = errors.New("vfs: rpc timeout")
+)
+
+// RetryPolicy adds fault tolerance to a client: each RPC attempt gets a
+// per-op timeout, and failed or timed-out attempts are reissued with
+// capped exponential backoff before the client gives up and reports
+// ErrUnavailable. The zero value keeps the historical behavior: one
+// attempt, no timeout (a lost RPC then hangs forever, so any lossy
+// transport needs a Timeout).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per RPC (values ≤ 1
+	// disable retry).
+	MaxAttempts int
+	// Timeout abandons an attempt that has not completed (0 disables).
+	// It must exceed the worst-case RPC service time, queueing included,
+	// or healthy-but-slow servers will look dead.
+	Timeout sim.Duration
+	// Backoff is the delay before the second attempt; it doubles per
+	// retry, capped at MaxBackoff. Zero uses 10 ms.
+	Backoff sim.Duration
+	// MaxBackoff caps the doubling (0 = uncapped).
+	MaxBackoff sim.Duration
+}
+
+// DefaultRetry is the policy supervised sessions thread through their
+// mounts: generous per-op timeouts so only genuinely lost RPCs reissue.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		Timeout:     5 * sim.Second,
+		Backoff:     50 * sim.Millisecond,
+		MaxBackoff:  2 * sim.Second,
+	}
+}
 
 // Config tunes a client proxy.
 type Config struct {
@@ -32,6 +75,9 @@ type Config struct {
 	// MaxDirty bounds buffered-but-unacknowledged write data; writers
 	// stall beyond it (the throttle real page caches apply).
 	MaxDirty int64
+	// Retry is the transport fault-tolerance policy (zero = one attempt,
+	// no timeout — the presets' historical behavior).
+	Retry RetryPolicy
 }
 
 // Presets matching the paper's three deployment points.
@@ -77,6 +123,10 @@ func (c Config) validate() error {
 	if c.MaxDirty < 0 {
 		return fmt.Errorf("vfs: max dirty %d", c.MaxDirty)
 	}
+	if c.Retry.MaxAttempts < 0 || c.Retry.Timeout < 0 ||
+		c.Retry.Backoff < 0 || c.Retry.MaxBackoff < 0 {
+		return fmt.Errorf("vfs: negative retry policy %+v", c.Retry)
+	}
 	return nil
 }
 
@@ -97,6 +147,7 @@ type Client struct {
 	hits, misses, remoteOps uint64
 	bytesFetched            uint64
 	transportErrs           uint64
+	retries                 uint64
 	lastErr                 error
 
 	// write-back state
@@ -151,6 +202,69 @@ func (c *Client) TransportErrors() uint64 { return c.transportErrs }
 
 // LastError returns the most recent transport error (nil if none).
 func (c *Client) LastError() error { return c.lastErr }
+
+// Retries returns how many RPC attempts were reissued by the retry
+// policy (0 without a policy).
+func (c *Client) Retries() uint64 { return c.retries }
+
+// transact issues one RPC through the retry policy. issue is invoked
+// once per attempt with that attempt's completion callback; done
+// receives nil on success, or the final error — wrapped in
+// ErrUnavailable when the policy was exhausted — once no attempts
+// remain. Late replies from timed-out attempts are ignored.
+func (c *Client) transact(issue func(done func(error)), done func(error)) {
+	p := c.cfg.Retry
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	firstBackoff := p.Backoff
+	if firstBackoff <= 0 {
+		firstBackoff = 10 * sim.Millisecond
+	}
+	var attempt func(n int, backoff sim.Duration)
+	attempt = func(n int, backoff sim.Duration) {
+		settled := false
+		var timer sim.EventID
+		finish := func(err error) {
+			if settled {
+				return // late reply after timeout, or stale timer
+			}
+			settled = true
+			c.k.Cancel(timer)
+			if err == nil {
+				done(nil)
+				return
+			}
+			// A server NAK is a definitive reply, not a lost message:
+			// retrying cannot change the answer.
+			if errors.Is(err, ErrUnknownFile) {
+				done(err)
+				return
+			}
+			if n >= attempts {
+				if attempts > 1 {
+					err = fmt.Errorf("%w: %w (after %d attempts)", ErrUnavailable, err, n)
+				}
+				done(err)
+				return
+			}
+			c.retries++
+			next := backoff * 2
+			if p.MaxBackoff > 0 && next > p.MaxBackoff {
+				next = p.MaxBackoff
+			}
+			c.k.After(backoff, func() { attempt(n+1, next) })
+		}
+		if p.Timeout > 0 {
+			timer = c.k.After(p.Timeout, func() {
+				finish(fmt.Errorf("%w after %v", ErrTimeout, p.Timeout))
+			})
+		}
+		issue(finish)
+	}
+	attempt(1, firstBackoff)
+}
 
 func (c *Client) noteErr(err error) {
 	if err != nil {
@@ -258,7 +372,9 @@ func (f *RemoteFile) Write(off, size int64, done func()) {
 	if !c.cfg.WriteBack {
 		c.enqueue(func() {
 			c.remoteOps++
-			c.t.Write(f.file, off, size, func(err error) {
+			c.transact(func(cb func(error)) {
+				c.t.Write(f.file, off, size, cb)
+			}, func(err error) {
 				c.noteErr(err)
 				c.callDone()
 				if done != nil {
@@ -283,7 +399,9 @@ func (f *RemoteFile) Write(off, size int64, done func()) {
 	c.dirty += size
 	c.enqueue(func() {
 		c.remoteOps++
-		c.t.Write(f.file, off, size, func(err error) {
+		c.transact(func(cb func(error)) {
+			c.t.Write(f.file, off, size, cb)
+		}, func(err error) {
 			c.noteErr(err)
 			c.dirty -= size
 			c.releaseStalled()
@@ -388,7 +506,9 @@ func (c *Client) readAfterClientCost(file string, off, size int64, done func()) 
 		c.enqueue(func() {
 			c.remoteOps++
 			c.bytesFetched += uint64(bytes)
-			c.t.Read(file, startBlock*rsize, bytes, func(err error) {
+			c.transact(func(cb func(error)) {
+				c.t.Read(file, startBlock*rsize, bytes, cb)
+			}, func(err error) {
 				c.noteErr(err)
 				c.callDone()
 				outstanding--

@@ -1,0 +1,174 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"vmgrid/internal/sim"
+)
+
+// scriptedTransport loses, NAKs, or serves RPC attempts per script:
+// the first drops attempts never complete, the next naks attempts reply
+// ErrUnknownFile, and everything after succeeds after latency.
+type scriptedTransport struct {
+	k       *sim.Kernel
+	drops   int
+	naks    int
+	latency sim.Duration
+
+	calls int
+	times []sim.Time
+}
+
+func (t *scriptedTransport) issue(done func(error)) {
+	t.calls++
+	t.times = append(t.times, t.k.Now())
+	switch {
+	case t.calls <= t.drops:
+		// Lost: no reply ever.
+	case t.calls <= t.drops+t.naks:
+		t.k.After(t.latency, func() { done(fmt.Errorf("%w: scripted", ErrUnknownFile)) })
+	default:
+		t.k.After(t.latency, func() { done(nil) })
+	}
+}
+
+func (t *scriptedTransport) Read(file string, off, size int64, done func(error)) { t.issue(done) }
+func (t *scriptedTransport) Write(file string, off, size int64, done func(error)) {
+	t.issue(done)
+}
+
+func retryClient(t *testing.T, k *sim.Kernel, tr Transport, p RetryPolicy) *Client {
+	t.Helper()
+	cfg := Config{Rsize: 32 << 10, Prefetch: 32 << 10, CacheBytes: 1 << 20, Retry: p}
+	c, err := NewClient(k, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRetryRecoversFromLostRPCs(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := &scriptedTransport{k: k, drops: 2, latency: sim.Millisecond}
+	c := retryClient(t, k, tr, RetryPolicy{
+		MaxAttempts: 4, Timeout: 100 * sim.Millisecond, Backoff: 10 * sim.Millisecond,
+	})
+	completed := false
+	c.Open("data", 1<<20).Read(0, 1024, func() { completed = true })
+	k.Run()
+	if !completed {
+		t.Fatal("read never completed despite retry budget")
+	}
+	if tr.calls != 3 {
+		t.Errorf("attempts = %d, want 3 (2 lost + 1 served)", tr.calls)
+	}
+	if c.Retries() != 2 {
+		t.Errorf("Retries() = %d, want 2", c.Retries())
+	}
+	if c.TransportErrors() != 0 {
+		t.Errorf("TransportErrors() = %d; recovered RPCs must not count as data loss", c.TransportErrors())
+	}
+	// Reissues are spaced by timeout + doubling backoff.
+	if len(tr.times) == 3 {
+		gap1 := tr.times[1].Sub(tr.times[0])
+		gap2 := tr.times[2].Sub(tr.times[1])
+		if gap1 != 110*sim.Millisecond || gap2 != 120*sim.Millisecond {
+			t.Errorf("attempt gaps = %v, %v; want timeout+10ms then timeout+20ms", gap1, gap2)
+		}
+	}
+}
+
+func TestRetryExhaustionReportsUnavailable(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := &scriptedTransport{k: k, drops: 1 << 30}
+	c := retryClient(t, k, tr, RetryPolicy{
+		MaxAttempts: 3, Timeout: 50 * sim.Millisecond, Backoff: 10 * sim.Millisecond,
+	})
+	completed := false
+	c.Open("data", 1<<20).Read(0, 1024, func() { completed = true })
+	k.Run()
+	// Soft-mount semantics: the read completes, the error is recorded.
+	if !completed {
+		t.Fatal("read hung instead of failing soft")
+	}
+	if tr.calls != 3 {
+		t.Errorf("attempts = %d, want 3", tr.calls)
+	}
+	if c.TransportErrors() != 1 {
+		t.Errorf("TransportErrors() = %d, want 1", c.TransportErrors())
+	}
+	if !errors.Is(c.LastError(), ErrUnavailable) {
+		t.Errorf("LastError = %v, want ErrUnavailable wrap", c.LastError())
+	}
+	if !errors.Is(c.LastError(), ErrTimeout) {
+		t.Errorf("LastError = %v, should keep the ErrTimeout cause", c.LastError())
+	}
+}
+
+func TestRetryDoesNotReissueNAKs(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := &scriptedTransport{k: k, naks: 1, latency: sim.Millisecond}
+	c := retryClient(t, k, tr, RetryPolicy{
+		MaxAttempts: 4, Timeout: 100 * sim.Millisecond, Backoff: 10 * sim.Millisecond,
+	})
+	completed := false
+	c.Open("ghost", 1<<20).Read(0, 1024, func() { completed = true })
+	k.Run()
+	if !completed {
+		t.Fatal("read never completed")
+	}
+	if tr.calls != 1 {
+		t.Errorf("attempts = %d; a definitive server NAK must not be retried", tr.calls)
+	}
+	if c.Retries() != 0 {
+		t.Errorf("Retries() = %d, want 0", c.Retries())
+	}
+	if !errors.Is(c.LastError(), ErrUnknownFile) {
+		t.Errorf("LastError = %v, want ErrUnknownFile", c.LastError())
+	}
+}
+
+func TestZeroRetryPolicyKeepsHistoricalBehavior(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := &scriptedTransport{k: k, drops: 1}
+	c := retryClient(t, k, tr, RetryPolicy{})
+	completed := false
+	c.Open("data", 1<<20).Read(0, 1024, func() { completed = true })
+	_ = k.RunUntil(k.Now().Add(sim.Hour))
+	if completed {
+		t.Fatal("zero policy must not time out or retry: a lost RPC hangs")
+	}
+	if tr.calls != 1 {
+		t.Errorf("attempts = %d, want exactly 1", tr.calls)
+	}
+}
+
+func TestRetryPolicyValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	bad := Config{Rsize: 16, Prefetch: 16, Retry: RetryPolicy{Timeout: -1}}
+	if _, err := NewClient(k, nil, bad); err == nil {
+		t.Error("negative retry timeout accepted")
+	}
+}
+
+func TestWriteThroughRetries(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := &scriptedTransport{k: k, drops: 1, latency: sim.Millisecond}
+	c := retryClient(t, k, tr, RetryPolicy{
+		MaxAttempts: 2, Timeout: 50 * sim.Millisecond, Backoff: 10 * sim.Millisecond,
+	})
+	completed := false
+	c.Open("data", 1<<20).Write(0, 1024, func() { completed = true })
+	k.Run()
+	if !completed {
+		t.Fatal("write never completed")
+	}
+	if tr.calls != 2 {
+		t.Errorf("attempts = %d, want 2", tr.calls)
+	}
+	if c.TransportErrors() != 0 {
+		t.Errorf("TransportErrors() = %d, want 0 after recovery", c.TransportErrors())
+	}
+}

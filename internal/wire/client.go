@@ -3,13 +3,54 @@ package wire
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
-// Client talks to a vmgridd server over TCP.
+// Config tunes the client's fault handling. The zero value selects the
+// defaults noted on each field.
+type Config struct {
+	// DialTimeout bounds each connection attempt. Default 5 s.
+	DialTimeout time.Duration
+	// CallTimeout is the per-attempt read/write deadline of one Call
+	// round trip. Default 60 s (sessions pump hours of virtual time but
+	// only milliseconds of wall clock).
+	CallTimeout time.Duration
+	// MaxAttempts bounds dial-or-send attempts per Call. Only requests
+	// that never reached the server are retried; once a request is on
+	// the wire, a lost reply surfaces as an error (resending could
+	// double-execute a non-idempotent operation). Default 4.
+	MaxAttempts int
+	// Backoff is the delay before the second attempt, doubling per
+	// attempt and capped at 2 s. Default 50 ms.
+	Backoff time.Duration
+}
+
+func (c *Config) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 60 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+}
+
+// Client talks to a vmgridd server over TCP. A broken connection is
+// re-dialed (with capped exponential backoff) on the next Call, so a
+// client handle survives server restarts.
 type Client struct {
+	addr string
+	cfg  Config
+
 	mu     sync.Mutex
 	conn   net.Conn
 	reader *bufio.Scanner
@@ -17,42 +58,116 @@ type Client struct {
 	nextID int64
 }
 
-// Dial connects to a server.
+// Dial connects to a server with default fault handling.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	return DialConfig(addr, Config{})
+}
+
+// DialConfig connects to a server with explicit fault handling. The
+// initial connection is established eagerly so configuration errors
+// surface here rather than on the first Call.
+func DialConfig(addr string, cfg Config) (*Client, error) {
+	cfg.fill()
+	c := &Client{addr: addr, cfg: cfg}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConn(); err != nil {
+		return nil, err
 	}
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64<<10), 4<<20)
-	return &Client{conn: conn, reader: scanner, enc: json.NewEncoder(conn)}, nil
+	return c, nil
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.dropConn()
+	return err
+}
+
+// ensureConn dials if no live connection exists. Callers hold mu.
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	c.conn, c.reader, c.enc = conn, scanner, json.NewEncoder(conn)
+	return nil
+}
+
+// dropConn discards a connection whose stream state is unknown; the
+// next attempt re-dials.
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	c.conn, c.reader, c.enc = nil, nil, nil
+}
 
 // Call performs one round trip. params may be nil. The response data is
-// unmarshaled into out when out is non-nil.
+// unmarshaled into out when out is non-nil. Attempts that fail before
+// the request is sent (dial errors, send errors) are retried with
+// backoff; failures after the send are returned as-is.
 func (c *Client) Call(op string, params any, out any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.nextID++
-	req := Request{ID: c.nextID, Op: op}
+	var raw json.RawMessage
 	if params != nil {
-		raw, err := json.Marshal(params)
+		b, err := json.Marshal(params)
 		if err != nil {
 			return fmt.Errorf("wire: params: %w", err)
 		}
-		req.Params = raw
+		raw = b
 	}
-	if err := c.enc.Encode(req); err != nil {
-		return fmt.Errorf("wire: send: %w", err)
+	backoff := c.cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+		}
+		if err := c.ensureConn(); err != nil {
+			lastErr = err
+			continue
+		}
+		c.nextID++
+		req := Request{ID: c.nextID, Op: op, Params: raw}
+		deadline := time.Now().Add(c.cfg.CallTimeout)
+		_ = c.conn.SetWriteDeadline(deadline)
+		if err := c.enc.Encode(req); err != nil {
+			// The request never made it out whole; safe to resend on a
+			// fresh connection.
+			c.dropConn()
+			lastErr = fmt.Errorf("wire: send: %w", err)
+			continue
+		}
+		_ = c.conn.SetReadDeadline(deadline)
+		return c.recv(req, out)
 	}
+	return lastErr
+}
+
+// recv reads and decodes the response to req. Callers hold mu.
+func (c *Client) recv(req Request, out any) error {
 	if !c.reader.Scan() {
-		if err := c.reader.Err(); err != nil {
+		err := c.reader.Err()
+		c.dropConn()
+		if err != nil {
 			return fmt.Errorf("wire: recv: %w", err)
 		}
-		return fmt.Errorf("wire: connection closed")
+		return errors.New("wire: connection closed")
 	}
 	var resp Response
 	if err := json.Unmarshal(c.reader.Bytes(), &resp); err != nil {

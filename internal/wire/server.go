@@ -8,6 +8,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"vmgrid/internal/core"
 	"vmgrid/internal/gis"
@@ -27,6 +28,14 @@ type Server struct {
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   chan struct{}
+
+	// connMu guards conns and draining: the set of live client
+	// connections, and whether Close has begun. Draining unblocks idle
+	// readers immediately while requests already being dispatched finish
+	// and deliver their responses.
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
 }
 
 // NewServer creates a server around a fresh grid seeded with seed.
@@ -35,6 +44,7 @@ func NewServer(seed uint64) *Server {
 		grid:     core.NewGrid(seed),
 		sessions: make(map[string]*core.Session),
 		closed:   make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
 	}
 }
 
@@ -63,7 +73,10 @@ func (s *Server) Addr() string {
 	return s.listener.Addr().String()
 }
 
-// Close stops the listener and waits for connection handlers to finish.
+// Close stops the listener and drains the connections: readers blocked
+// waiting for a next request unblock immediately, requests already
+// being dispatched finish and deliver their responses, and Close
+// returns once every handler has exited.
 func (s *Server) Close() error {
 	select {
 	case <-s.closed:
@@ -75,8 +88,33 @@ func (s *Server) Close() error {
 	if s.listener != nil {
 		err = s.listener.Close()
 	}
+	s.connMu.Lock()
+	s.draining = true
+	for conn := range s.conns {
+		// An expired read deadline aborts the handler's blocking Scan;
+		// the response write of an in-flight dispatch is unaffected.
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// trackConn registers a live connection for drain. If the server is
+// already draining, the connection's reads abort immediately.
+func (s *Server) trackConn(conn net.Conn) {
+	s.connMu.Lock()
+	if s.draining {
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *Server) untrackConn(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -103,6 +141,8 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) handleConn(conn net.Conn) {
+	s.trackConn(conn)
+	defer s.untrackConn(conn)
 	defer conn.Close()
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64<<10), 4<<20)
