@@ -7,11 +7,17 @@
 //	gridbench [-exp all|fig1|table1|table2|ablation-staging|ablation-cache|
 //	           ablation-sched|ablation-migration|ablation-rps|
 //	           ablation-recovery]
-//	          [-seed N] [-samples N] [-parallel N]
+//	          [-seed N] [-samples N] [-parallel N] [-trace out.json]
 //
 // Independent simulation samples fan out across -parallel worker
 // goroutines (default: one per CPU). The tables are bit-identical for
 // every worker count; -parallel only changes wall-clock time.
+//
+// -trace records the fig1 and table2 samples with the obs layer and
+// writes one Chrome trace-event JSON file (load it in chrome://tracing
+// or Perfetto), plus a per-phase latency table decomposing each cell's
+// startup wall clock. The trace bytes, like the tables, are identical
+// at every -parallel value.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"strings"
 
 	"vmgrid/internal/experiments"
+	"vmgrid/internal/obs"
 )
 
 func main() {
@@ -38,8 +45,13 @@ func run(args []string) error {
 	samples := fs.Int("samples", 0, "override sample count (0 = paper default)")
 	format := fs.String("format", "text", "output format: text or csv")
 	parallel := fs.Int("parallel", 0, "worker goroutines per experiment (0 = one per CPU)")
+	tracePath := fs.String("trace", "", "write Chrome trace JSON of fig1/table2 samples to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var traceSet *obs.TraceSet
+	if *tracePath != "" {
+		traceSet = obs.NewTraceSet()
 	}
 	var emit func(*experiments.Table)
 	switch *format {
@@ -61,6 +73,7 @@ func run(args []string) error {
 			cfg := experiments.DefaultFig1Config()
 			cfg.Seed = *seed
 			cfg.Workers = workers
+			cfg.Trace = traceSet
 			if *samples > 0 {
 				cfg.Samples = *samples
 			}
@@ -83,6 +96,7 @@ func run(args []string) error {
 			cfg := experiments.DefaultTable2Config()
 			cfg.Seed = *seed
 			cfg.Workers = workers
+			cfg.Trace = traceSet
 			if *samples > 0 {
 				cfg.Samples = *samples
 			}
@@ -170,7 +184,7 @@ func run(args []string) error {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
-		return nil
+		return writeTrace(traceSet, *tracePath, emit)
 	}
 	runner, ok := runners[*exp]
 	if !ok {
@@ -181,5 +195,104 @@ func run(args []string) error {
 		}
 		return fmt.Errorf("unknown experiment %q (want one of: %s)", *exp, strings.Join(names, ", "))
 	}
-	return runner()
+	if err := runner(); err != nil {
+		return err
+	}
+	return writeTrace(traceSet, *tracePath, emit)
+}
+
+// writeTrace dumps the collected trace set as Chrome trace-event JSON
+// and prints the per-phase latency decomposition. A no-op without
+// -trace or when the selected experiment recorded nothing.
+func writeTrace(ts *obs.TraceSet, path string, emit func(*experiments.Table)) error {
+	if ts == nil {
+		return nil
+	}
+	if ts.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "gridbench: -trace set but the selected experiment records no traces (only fig1 and table2 do)")
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ts.WriteChrome(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	emit(phaseTable(ts))
+	fmt.Printf("# trace: %d samples -> %s\n", ts.Len(), path)
+	return nil
+}
+
+// phaseTable aggregates the set's lifecycle spans per experiment cell:
+// sample labels end in "/<index>", which is stripped so a cell's samples
+// fold into one row per phase. Only the startup decomposition ("phase"
+// spans from core, "vmm" spans from the monitor) is tabulated; RPC and
+// supervisor spans stay in the JSON.
+func phaseTable(ts *obs.TraceSet) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "Per-phase startup latency (simulated seconds)",
+		Note:   "phase spans partition submitted->ready exactly; mean over a cell's samples",
+		Header: []string{"cell", "cat", "phase", "count", "mean", "max", "total"},
+	}
+	type key struct{ cell, cat, name string }
+	idx := map[key]int{}
+	type row struct {
+		key   key
+		stat  obs.PhaseStat
+		count int
+	}
+	var rows []row
+	for _, p := range ts.PhaseStats() {
+		if p.Cat != "phase" && p.Cat != "vmm" {
+			continue
+		}
+		k := key{cellOf(p.Label), p.Cat, p.Name}
+		i, ok := idx[k]
+		if !ok {
+			i = len(rows)
+			idx[k] = i
+			rows = append(rows, row{key: k})
+		}
+		rows[i].stat.Total += p.Total
+		if p.Max > rows[i].stat.Max {
+			rows[i].stat.Max = p.Max
+		}
+		rows[i].count += p.Count
+	}
+	for _, r := range rows {
+		mean := 0.0
+		if r.count > 0 {
+			mean = r.stat.Total.Seconds() / float64(r.count)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.key.cell, r.key.cat, r.key.name,
+			fmt.Sprintf("%d", r.count),
+			fmt.Sprintf("%.3f", mean),
+			fmt.Sprintf("%.3f", r.stat.Max.Seconds()),
+			fmt.Sprintf("%.3f", r.stat.Total.Seconds()),
+		})
+	}
+	return t
+}
+
+// cellOf strips a trailing "/<sample index>" from a trace label.
+func cellOf(label string) string {
+	i := strings.LastIndex(label, "/")
+	if i < 0 {
+		return label
+	}
+	for _, c := range label[i+1:] {
+		if c < '0' || c > '9' {
+			return label
+		}
+	}
+	if i+1 == len(label) {
+		return label
+	}
+	return label[:i]
 }

@@ -23,6 +23,8 @@
 //	shutdown   -session S
 //	usage      -session S
 //	query      -kind host|vm-future|vm|image-server|data-server
+//	metrics
+//	spans      [-cat C]
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"sort"
 	"strings"
 
+	"vmgrid/internal/obs"
 	"vmgrid/internal/wire"
 )
 
@@ -269,8 +272,63 @@ func run(args []string) error {
 		}
 		return nil
 
+	case "metrics":
+		snap, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		printMetrics(snap)
+		return nil
+
+	case "spans":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		cat := fs.String("cat", "", "only spans of this category (phase, rpc, vmm, supervisor, lifecycle)")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		spans, err := c.Spans()
+		if err != nil {
+			return err
+		}
+		for _, sp := range spans {
+			if *cat != "" && sp.Cat != *cat {
+				continue
+			}
+			mark := fmt.Sprintf("%10.3fs %10.3fs", sp.Start.Seconds(), sp.Dur().Seconds())
+			if sp.Instant {
+				mark = fmt.Sprintf("%10.3fs %10s", sp.Start.Seconds(), "-")
+			}
+			line := fmt.Sprintf("%s  %-20s %-11s %s", mark, sp.Track, sp.Cat, sp.Name)
+			if sp.Note != "" {
+				line += "  (" + sp.Note + ")"
+			}
+			fmt.Println(line)
+		}
+		return nil
+
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func printMetrics(snap obs.Snapshot) {
+	if len(snap.Counters) > 0 {
+		fmt.Println("counters:")
+		for _, c := range snap.Counters {
+			fmt.Printf("  %-28s %g\n", c.Name, c.Value)
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Println("gauges:")
+		for _, g := range snap.Gauges {
+			fmt.Printf("  %-28s %g\n", g.Name, g.Value)
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Println("histograms:")
+		for _, h := range snap.Histograms {
+			fmt.Printf("  %-28s n=%-6d mean=%.6fs max=%.6fs\n", h.Name, h.Count, h.MeanSec, h.MaxSec)
+		}
 	}
 }
 

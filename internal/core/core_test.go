@@ -101,7 +101,7 @@ func TestSessionLifecycleSteps(t *testing.T) {
 			t.Errorf("step %q never happened; events: %v", step, s.Events())
 		}
 	}
-	if s.State() != "running" {
+	if s.State() != StateRunning {
 		t.Errorf("state = %q", s.State())
 	}
 	if s.Addr() == "" {
@@ -287,7 +287,7 @@ func TestShutdownCleansUp(t *testing.T) {
 	slotsBefore := node.Slots()
 	addr := s.Addr()
 	s.Shutdown()
-	if s.State() != "dead" {
+	if s.State() != StateDead {
 		t.Errorf("state = %q", s.State())
 	}
 	if node.Slots() != slotsBefore+1 {
@@ -328,7 +328,7 @@ func TestHibernateAndWake(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = g.Kernel().RunUntil(g.Kernel().Now().Add(5 * sim.Minute))
-	if !hibernated || s.State() != "hibernated" {
+	if !hibernated || s.State() != StateHibernated {
 		t.Fatalf("hibernate failed: state %q", s.State())
 	}
 	if finished {

@@ -166,7 +166,7 @@ func TestHibernateDuringIOCompletesAfterWake(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = g.Kernel().RunUntil(g.Kernel().Now().Add(5 * sim.Minute))
-	if s.State() != "hibernated" {
+	if s.State() != StateHibernated {
 		t.Fatalf("state = %q", s.State())
 	}
 	if err := s.Wake(nil); err != nil {

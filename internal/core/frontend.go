@@ -46,7 +46,7 @@ func NewFrontEnd(g *Grid, name string) *FrontEnd {
 
 // AddBackend places a running session into the pool.
 func (f *FrontEnd) AddBackend(s *Session) error {
-	if s.State() != "running" {
+	if !s.State().CanRun() {
 		return fmt.Errorf("%w: session %s is %s", ErrBadSession, s.Name(), s.State())
 	}
 	f.pool = append(f.pool, s)
@@ -109,7 +109,7 @@ func (f *FrontEnd) drain() {
 func (f *FrontEnd) pickBackend() *Session {
 	var candidates []*Session
 	for _, s := range f.pool {
-		if s.State() == "running" && s.VM().Guest().Tasks() < maxTasksPerBackend {
+		if s.State().CanRun() && s.VM().Guest().Tasks() < maxTasksPerBackend {
 			candidates = append(candidates, s)
 		}
 	}

@@ -23,6 +23,7 @@ import (
 	"vmgrid/internal/hostos"
 	"vmgrid/internal/hw"
 	"vmgrid/internal/netsim"
+	"vmgrid/internal/obs"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 	"vmgrid/internal/vfs"
@@ -41,6 +42,7 @@ type Grid struct {
 	sessions int
 	live     map[string]*Session
 	vfsRetry vfs.RetryPolicy
+	tracer   *obs.Tracer
 }
 
 // NewGrid creates an empty grid fabric seeded deterministically.

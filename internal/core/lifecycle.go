@@ -14,7 +14,7 @@ import (
 // disappears. Persistent disks stay in the node's store (they are the
 // user's state).
 func (s *Session) Shutdown() {
-	if s.state == "dead" {
+	if s.state == StateDead {
 		return
 	}
 	if s.vm != nil {
@@ -37,7 +37,7 @@ func (s *Session) Shutdown() {
 	s.grid.info.Deregister(gis.KindVM, s.name)
 	s.releaseSlot()
 	delete(s.grid.live, s.name)
-	s.state = "dead"
+	s.state = StateDead
 	s.mark("shutdown")
 }
 
@@ -45,12 +45,12 @@ func (s *Session) Shutdown() {
 // image lands in the node's store. The session can be woken later (or
 // migrated while hibernated).
 func (s *Session) Hibernate(done func(error)) error {
-	if s.state != "running" {
+	if !s.state.CanHibernate() {
 		return fmt.Errorf("%w: hibernate in %q", ErrBadSession, s.state)
 	}
 	if err := s.vm.Suspend(func(err error) {
 		if err == nil {
-			s.state = "hibernated"
+			s.state = StateHibernated
 			s.mark("hibernated")
 		}
 		if done != nil {
@@ -65,12 +65,12 @@ func (s *Session) Hibernate(done func(error)) error {
 // Wake resumes a hibernated session in place, re-reading the saved
 // memory image.
 func (s *Session) Wake(done func(error)) error {
-	if s.state != "hibernated" {
+	if !s.state.CanWake() {
 		return fmt.Errorf("%w: wake in %q", ErrBadSession, s.state)
 	}
 	return s.vm.Start(vmm.WarmRestore, func(err error) {
 		if err == nil {
-			s.state = "running"
+			s.state = StateRunning
 			s.mark("woken")
 		}
 		if done != nil {
@@ -88,7 +88,7 @@ func (s *Session) Wake(done func(error)) error {
 // base image (read-only base sharing is what keeps migration traffic
 // down to the working set, §3.1).
 func (s *Session) Migrate(targetName string, done func(error)) error {
-	if s.state != "running" && s.state != "hibernated" {
+	if !s.state.CanMigrate() {
 		return fmt.Errorf("%w: migrate in %q", ErrBadSession, s.state)
 	}
 	if s.cow == nil {
@@ -145,7 +145,7 @@ func (s *Session) Migrate(targetName string, done func(error)) error {
 		})
 	}
 
-	if s.state == "running" {
+	if s.state == StateRunning {
 		s.mark("migrate-suspend")
 		if err := s.vm.Suspend(func(err error) {
 			if err != nil {
@@ -176,7 +176,7 @@ func (s *Session) Migrate(targetName string, done func(error)) error {
 // failover path sets it) and the caller must have reserved a slot on
 // target.
 func (s *Session) restoreFrom(target *Node, writtenPages []int64, finish func(error)) {
-	if s.state != "recovering" {
+	if s.state != StateRecovering {
 		finish(fmt.Errorf("%w: restore in %q", ErrBadSession, s.state))
 		return
 	}
@@ -230,7 +230,7 @@ func (s *Session) restoreFrom(target *Node, writtenPages []int64, finish func(er
 			finish(err)
 			return
 		}
-		s.state = "running"
+		s.state = StateRunning
 		s.mark("recovered")
 		_ = s.grid.info.Register(gis.KindVM, s.name, map[string]any{
 			gis.AttrHost: s.node.name,
@@ -317,7 +317,7 @@ func (s *Session) arrive(target *Node, finish func(error)) {
 			finish(err)
 			return
 		}
-		s.state = "running"
+		s.state = StateRunning
 		s.mark("migrated")
 		_ = s.grid.info.Register(gis.KindVM, s.name, map[string]any{
 			gis.AttrHost: s.node.name,

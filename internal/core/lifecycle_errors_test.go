@@ -16,7 +16,7 @@ func crashSession(t *testing.T, g *Grid, s *Session) {
 	if err := g.CrashNode(s.Node().Name()); err != nil {
 		t.Fatal(err)
 	}
-	if s.State() != "crashed" {
+	if s.State() != StateCrashed {
 		t.Fatalf("state = %q after node crash", s.State())
 	}
 }
@@ -49,7 +49,7 @@ func TestCrashedSessionOperationsFail(t *testing.T) {
 	}
 	// Shutdown of a crashed session is safe (the give-up path uses it).
 	s.Shutdown()
-	if s.State() != "dead" {
+	if s.State() != StateDead {
 		t.Errorf("state = %q after shutdown", s.State())
 	}
 	s.Shutdown() // idempotent
@@ -71,10 +71,10 @@ func TestRecoveringSessionOperationsFail(t *testing.T) {
 	// Step in fine quanta until the supervisor enters the failover
 	// window, then poke the session mid-recovery.
 	deadline := g.Kernel().Now().Add(10 * sim.Minute)
-	for s.State() != "recovering" && g.Kernel().Now() < deadline {
+	for s.State() != StateRecovering && g.Kernel().Now() < deadline {
 		_ = g.Kernel().RunUntil(g.Kernel().Now().Add(100 * sim.Millisecond))
 	}
-	if s.State() != "recovering" {
+	if s.State() != StateRecovering {
 		t.Fatalf("never observed recovering state (state %q)", s.State())
 	}
 	if err := s.Run(guest.MicroTask(1), nil); !errors.Is(err, ErrBadSession) {
@@ -91,8 +91,8 @@ func TestRecoveringSessionOperationsFail(t *testing.T) {
 	}
 
 	// Recovery still completes despite the poking.
-	stepUntil(g, sim.Hour, func() bool { return s.State() == "running" })
-	if s.State() != "running" {
+	stepUntil(g, sim.Hour, func() bool { return s.State() == StateRunning })
+	if s.State() != StateRunning {
 		t.Fatalf("session never recovered; state %q", s.State())
 	}
 	sup.Stop()

@@ -167,7 +167,8 @@ type Session struct {
 	dataClient  *vfs.Client
 	imageClient *vfs.Client
 	events      []Event
-	state       string // pending, running, hibernated, crashed, recovering, dead
+	state       State
+	phaseStart  sim.Time
 	crashedAt   sim.Time
 }
 
@@ -195,9 +196,8 @@ func (s *Session) LocalUser() string { return s.localUser }
 // locally installed images).
 func (s *Session) ImageServer() string { return s.imageServer }
 
-// State returns pending, running, hibernated, crashed, recovering, or
-// dead.
-func (s *Session) State() string { return s.state }
+// State returns the session's life-cycle state.
+func (s *Session) State() State { return s.state }
 
 // Events returns the life-cycle timeline.
 func (s *Session) Events() []Event {
@@ -215,7 +215,17 @@ func (s *Session) EventAt(step string) sim.Time {
 }
 
 func (s *Session) mark(step string) {
-	s.events = append(s.events, Event{Step: step, At: s.grid.k.Now()})
+	now := s.grid.k.Now()
+	if tr := s.grid.tracer; tr != nil {
+		if phase := startupPhases[step]; phase != "" {
+			tr.SpanAt(s.name, "phase", phase, s.phaseStart, now)
+		}
+		tr.Instant(s.name, "lifecycle", step)
+	}
+	if step == "submitted" || startupPhases[step] != "" {
+		s.phaseStart = now
+	}
+	s.events = append(s.events, Event{Step: step, At: now})
 }
 
 // Run executes a workload in the session's guest and delivers the
@@ -228,7 +238,7 @@ func (s *Session) Run(w guest.Workload, done func(guest.TaskResult)) error {
 // RunTask is Run exposing the task handle, for callers that track
 // mid-flight progress (the supervisor's checkpoint accounting).
 func (s *Session) RunTask(w guest.Workload, done func(guest.TaskResult)) (*guest.Task, error) {
-	if s.state != "running" || s.vm == nil {
+	if !s.state.CanRun() || s.vm == nil {
 		return nil, fmt.Errorf("%w: run in %q", ErrBadSession, s.state)
 	}
 	return s.vm.Guest().Run(w, done)
@@ -239,14 +249,15 @@ func (s *Session) RunTask(w guest.Workload, done func(guest.TaskResult)) (*guest
 // state that was not checkpointed is gone. No cleanup runs on the
 // crashed node — its store is unreachable until reboot.
 func (s *Session) crash() {
-	if s.state == "dead" || s.state == "crashed" {
+	if s.state == StateDead || s.state == StateCrashed {
 		return
 	}
 	if s.vm != nil {
 		s.vm.PowerOff()
 	}
-	s.state = "crashed"
+	s.state = StateCrashed
 	s.crashedAt = s.grid.k.Now()
+	s.grid.tracer.Metrics().Counter("core.sessions.crashed").Inc()
 	s.mark("crashed")
 	s.grid.info.Deregister(gis.KindVM, s.name)
 	s.addr = ""
@@ -314,12 +325,14 @@ func (g *Grid) NewSession(cfg SessionConfig, done func(*Session, error)) (*Sessi
 		cfg:   cfg,
 		id:    g.sessions,
 		name:  fmt.Sprintf("sess-%d-%s", g.sessions, cfg.User),
-		state: "pending",
+		state: StatePending,
 	}
+	g.tracer.Metrics().Counter("core.sessions.submitted").Inc()
 	s.mark("submitted")
 
 	fail := func(err error) {
-		s.state = "dead"
+		s.state = StateDead
+		g.tracer.Metrics().Counter("core.sessions.failed").Inc()
 		if done != nil {
 			done(s, err)
 		}
@@ -358,6 +371,7 @@ func (g *Grid) NewSession(cfg SessionConfig, done func(*Session, error)) (*Sessi
 				fail(err)
 				return
 			}
+			client.SetTracer(g.tracer)
 			job := gram.Job{
 				Name: "start-vm:" + s.name,
 				User: cfg.User,
@@ -377,7 +391,8 @@ func (g *Grid) NewSession(cfg SessionConfig, done func(*Session, error)) (*Sessi
 					return
 				}
 				s.mark("ready")
-				s.state = "running"
+				s.state = StateRunning
+				g.tracer.Metrics().Counter("core.sessions.ready").Inc()
 				g.live[s.name] = s
 				_ = g.info.Register(gis.KindVM, s.name, map[string]any{
 					gis.AttrHost: s.node.name,
@@ -459,6 +474,7 @@ func (s *Session) instantiate(done func(error)) {
 			MemBytes: s.cfg.MemBytes,
 			Disk:     disk,
 			MemImage: mem,
+			Trace:    s.grid.tracer,
 		})
 		if err != nil {
 			done(err)
@@ -520,7 +536,9 @@ func (s *Session) buildBackends(yield func(storage.Backend, *memBackend, error))
 
 	case AccessLoopback:
 		tr := vfs.NewLoopbackTransport(s.grid.k, node.vfsrv)
-		client, err := vfs.NewClient(s.grid.k, tr, vfs.LoopbackNFSConfig())
+		lcfg := vfs.LoopbackNFSConfig()
+		lcfg.Trace = s.grid.tracer
+		client, err := vfs.NewClient(s.grid.k, tr, lcfg)
 		if err != nil {
 			yield(nil, nil, err)
 			return
@@ -711,5 +729,6 @@ func (g *Grid) vfsClient(fromNode, toNode string) (*vfs.Client, error) {
 		cfg = vfs.WANConfig()
 	}
 	cfg.Retry = g.vfsRetry
+	cfg.Trace = g.tracer
 	return vfs.NewClient(g.k, tr, cfg)
 }

@@ -7,6 +7,8 @@ import (
 	"vmgrid/internal/gis"
 	"vmgrid/internal/gram"
 	"vmgrid/internal/guest"
+	"vmgrid/internal/obs"
+	"vmgrid/internal/retry"
 	"vmgrid/internal/sim"
 )
 
@@ -105,6 +107,7 @@ type charge struct {
 	ckNext        sim.EventID
 	checkpointing bool
 	recovering    bool
+	failSpan      obs.Span
 	// lossAccounted marks that the current crash's lost work has been
 	// charged to the stats; failover retries (no target available yet)
 	// must not count the same crash again.
@@ -149,7 +152,7 @@ func (sup *Supervisor) Stats() SupervisorStats { return sup.stats }
 // heartbeat and checkpoint ticks. done fires when the baseline
 // checkpoint commits.
 func (sup *Supervisor) Adopt(s *Session, done func(error)) error {
-	if s.State() != "running" {
+	if !s.State().CanRun() {
 		return fmt.Errorf("%w: adopt in %q", ErrBadSession, s.State())
 	}
 	if s.cow == nil {
@@ -242,12 +245,12 @@ func (sup *Supervisor) heartbeat(c *charge) {
 	}
 	s := c.s
 	switch s.State() {
-	case "dead":
+	case StateDead:
 		sup.Release(s)
 		return
-	case "running", "hibernated":
+	case StateRunning, StateHibernated:
 		sup.renewLease(c)
-	case "crashed":
+	case StateCrashed:
 		if !c.recovering {
 			if _, err := sup.g.info.Lookup(gis.KindLease, s.name); err != nil {
 				sup.failover(c)
@@ -281,15 +284,17 @@ func (sup *Supervisor) checkpoint(c *charge, done func(error)) {
 		}
 	}
 	s := c.s
-	if c.stopped || c.recovering || c.checkpointing || s.State() != "running" {
+	if c.stopped || c.recovering || c.checkpointing || !s.State().CanRun() {
 		finish(fmt.Errorf("%w: checkpoint in %q", ErrBadSession, s.State()))
 		return
 	}
 	c.checkpointing = true
 	suspendedAt := sup.g.k.Now()
+	sp := sup.g.tracer.Begin(s.name, "supervisor", "checkpoint")
 	unlock := func(err error) {
 		c.checkpointing = false
 		sup.stats.CheckpointSec += sup.g.k.Now().Sub(suspendedAt).Seconds()
+		sp.EndErr(err)
 		finish(err)
 	}
 	if err := s.vm.Suspend(func(err error) {
@@ -317,10 +322,11 @@ func (sup *Supervisor) checkpoint(c *charge, done func(error)) {
 					c.tasks[i].ckptSec = snap[i]
 				}
 				sup.stats.Checkpoints++
+				sup.g.tracer.Metrics().Counter("core.checkpoints").Inc()
 			}
 			// The node may have crashed while we staged; only a VM still
 			// sitting suspended resumes.
-			if s.vm != nil && s.State() == "running" {
+			if s.vm != nil && s.State() == StateRunning {
 				if uerr := s.vm.Unpause(); uerr != nil && err == nil {
 					err = uerr
 				}
@@ -329,6 +335,7 @@ func (sup *Supervisor) checkpoint(c *charge, done func(error)) {
 		})
 	}); err != nil {
 		c.checkpointing = false
+		sp.EndErr(err)
 		finish(err)
 	}
 }
@@ -368,6 +375,7 @@ func (sup *Supervisor) failover(c *charge) {
 	if !c.lossAccounted {
 		c.lossAccounted = true
 		sup.stats.Crashes++
+		sup.g.tracer.Metrics().Counter("core.lease-expiries").Inc()
 		for _, t := range c.tasks {
 			if t.finished {
 				continue
@@ -383,15 +391,18 @@ func (sup *Supervisor) failover(c *charge) {
 	}
 	c.recovering = true
 	c.checkpointing = false // a checkpoint in flight died with the node
-	s.state = "recovering"
+	s.state = StateRecovering
 	s.mark("recovering")
+	c.failSpan = sup.g.tracer.Begin(s.name, "supervisor", "failover")
 
 	target := sup.pickTarget(s)
 	if target == nil {
 		// Nothing can host the session right now (all candidates down or
 		// full). Back off one lease and let the heartbeat re-detect; this
 		// attempt does not count against MaxRecoveries.
-		s.state = "crashed"
+		s.state = StateCrashed
+		c.failSpan.Note("no target available")
+		c.failSpan.End()
 		sup.g.k.After(sup.cfg.LeaseTTL, func() { c.recovering = false })
 		return
 	}
@@ -400,10 +411,10 @@ func (sup *Supervisor) failover(c *charge) {
 	target.advertise()
 
 	abort := func(err error) {
-		_ = err
 		target.slots++
 		target.advertise()
-		s.state = "crashed"
+		s.state = StateCrashed
+		c.failSpan.EndErr(err)
 		sup.g.k.After(sup.cfg.LeaseTTL, func() { c.recovering = false })
 	}
 
@@ -463,9 +474,9 @@ func (sup *Supervisor) dispatchRestore(c *charge, target *Node) {
 	abort := func(err error) {
 		target.slots++
 		target.advertise()
-		s.state = "crashed"
+		s.state = StateCrashed
+		c.failSpan.EndErr(err)
 		sup.g.k.After(sup.cfg.LeaseTTL, func() { c.recovering = false })
-		_ = err
 	}
 	if front == nil || front.crashed {
 		abort(fmt.Errorf("%w: front end %q", ErrUnknownNode, s.cfg.FrontEnd))
@@ -483,8 +494,8 @@ func (sup *Supervisor) dispatchRestore(c *charge, target *Node) {
 			s.restoreFrom(target, c.ckptPages, jobDone)
 		},
 	}
-	retry := gram.RetryPolicy{MaxAttempts: 4, Backoff: 500 * sim.Millisecond, MaxBackoff: 4 * sim.Second}
-	if err := client.SubmitRetry(target.name, job, retry, func(err error) {
+	policy := retry.Policy{MaxAttempts: 4, Backoff: 500 * sim.Millisecond, MaxBackoff: 4 * sim.Second}
+	if err := client.SubmitRetry(target.name, job, policy, func(err error) {
 		if err != nil {
 			abort(err)
 			return
@@ -502,6 +513,8 @@ func (sup *Supervisor) resume(c *charge) {
 	now := sup.g.k.Now()
 	sup.stats.Recoveries++
 	sup.stats.RepairSec += now.Sub(s.crashedAt).Seconds()
+	sup.g.tracer.Metrics().Counter("core.recoveries").Inc()
+	c.failSpan.End()
 	for _, t := range c.tasks {
 		if t.finished {
 			continue

@@ -86,7 +86,7 @@ func TestSupervisorFailoverCompletesWork(t *testing.T) {
 	if res.UserSeconds != 600 {
 		t.Errorf("UserSeconds = %v, want the full 600 (merged across failover)", res.UserSeconds)
 	}
-	if s.State() != "running" {
+	if s.State() != StateRunning {
 		t.Errorf("session state = %q after recovery", s.State())
 	}
 	if s.EventAt("recovered") < 0 {
@@ -185,7 +185,7 @@ func TestSupervisorGivesUpAfterMaxRecoveries(t *testing.T) {
 	if !errors.Is(res.Err, ErrLeaseExpired) {
 		t.Errorf("err = %v, want ErrLeaseExpired", res.Err)
 	}
-	if s.State() != "dead" {
+	if s.State() != StateDead {
 		t.Errorf("state = %q, want dead after give-up", s.State())
 	}
 	if st := sup.Stats(); st.GivenUp != 1 || st.Recoveries != 1 {

@@ -7,6 +7,7 @@ import (
 	"vmgrid/internal/guest"
 	"vmgrid/internal/hostos"
 	"vmgrid/internal/hw"
+	"vmgrid/internal/obs"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 	"vmgrid/internal/trace"
@@ -45,6 +46,10 @@ type Fig1Config struct {
 	// Workers bounds the goroutines running scenarios concurrently;
 	// <= 0 means one per CPU. Output is identical for every value.
 	Workers int
+	// Trace, when non-nil, collects one tracer per scenario (VM
+	// lifecycle spans and the world-switch gauge), added in scenario
+	// order so the set is byte-identical at any worker count.
+	Trace *obs.TraceSet
 }
 
 // DefaultFig1Config matches the paper's setup.
@@ -100,15 +105,30 @@ func Figure1(cfg Fig1Config) ([]Fig1Row, error) {
 			}
 		}
 	}
-	return RunSamples(context.Background(), cfg.Seed, len(scenarios), cfg.Workers,
-		func(i int, seed uint64) (Fig1Row, error) {
+	type scenarioOut struct {
+		row Fig1Row
+		tr  *obs.Tracer
+	}
+	results, err := RunSamples(context.Background(), cfg.Seed, len(scenarios), cfg.Workers,
+		func(i int, seed uint64) (scenarioOut, error) {
 			sc := scenarios[i]
-			row, err := fig1Scenario(cfg, baseline, seed, sc.load, sc.loadOn, sc.testOn)
+			row, tr, err := fig1Scenario(cfg, baseline, seed, sc.load, sc.loadOn, sc.testOn)
 			if err != nil {
-				return row, fmt.Errorf("scenario %v/%v/%v: %w", sc.load, sc.loadOn, sc.testOn, err)
+				return scenarioOut{}, fmt.Errorf("scenario %v/%v/%v: %w", sc.load, sc.loadOn, sc.testOn, err)
 			}
-			return row, nil
+			return scenarioOut{row: row, tr: tr}, nil
 		})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig1Row, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, r.row)
+		if cfg.Trace != nil {
+			cfg.Trace.Add("fig1/"+r.row.Scenario(), r.tr)
+		}
+	}
+	return rows, nil
 }
 
 // fig1Baseline measures the unloaded physical elapsed time of one task.
@@ -134,8 +154,9 @@ func fig1Baseline(cfg Fig1Config) (float64, error) {
 }
 
 // fig1VM builds a warm-restored VM on h ready to run tasks; it returns
-// once the VM is running (the caller drives the kernel).
-func fig1VM(k *sim.Kernel, h *hostos.Host, name string, ready func(*vmm.VM)) error {
+// once the VM is running (the caller drives the kernel). tr (nil ok)
+// records the VM's lifecycle spans.
+func fig1VM(k *sim.Kernel, h *hostos.Host, name string, tr *obs.Tracer, ready func(*vmm.VM)) error {
 	store := storage.NewStore(h)
 	img := storage.ImageInfo{Name: "rh72-" + name, OS: "rh72", DiskBytes: 2 * hw.GB, MemBytes: 128 * hw.MB}
 	if err := storage.InstallImage(store, img); err != nil {
@@ -158,6 +179,7 @@ func fig1VM(k *sim.Kernel, h *hostos.Host, name string, ready func(*vmm.VM)) err
 		MemBytes: 128 * hw.MB,
 		Disk:     storage.NewCowDisk(base, diff),
 		MemImage: mem,
+		Trace:    tr,
 	})
 	if err != nil {
 		return err
@@ -169,14 +191,18 @@ func fig1VM(k *sim.Kernel, h *hostos.Host, name string, ready func(*vmm.VM)) err
 	})
 }
 
-func fig1Scenario(cfg Fig1Config, baseline float64, seed uint64, load trace.Class, loadOn, testOn Placement) (Fig1Row, error) {
+func fig1Scenario(cfg Fig1Config, baseline float64, seed uint64, load trace.Class, loadOn, testOn Placement) (Fig1Row, *obs.Tracer, error) {
 	// seed is the runner-derived per-scenario seed; the background trace
 	// below deliberately does NOT use it — all four placements of one
 	// load class must replay the identical trace (paired design).
 	k := sim.NewKernel(seed)
+	var otr *obs.Tracer
+	if cfg.Trace != nil {
+		otr = obs.New(k)
+	}
 	h, err := hostos.New(k, hw.ReferenceMachine("phys"))
 	if err != nil {
-		return Fig1Row{}, err
+		return Fig1Row{}, nil, err
 	}
 	// All four placements of one load class replay the same trace, as
 	// the paper does — placements are compared against each other, so
@@ -224,7 +250,7 @@ func fig1Scenario(cfg Fig1Config, baseline float64, seed uint64, load trace.Clas
 				return nil
 			}
 			// The load gets its own VM next to the physical test task.
-			return fig1VM(k, h, "loadvm", func(vm *vmm.VM) {
+			return fig1VM(k, h, "loadvm", otr, func(vm *vmm.VM) {
 				pb := trace.NewPlayback(k, tr, vm.Guest().SetBackgroundLoad)
 				pb.Start()
 			})
@@ -237,18 +263,18 @@ func fig1Scenario(cfg Fig1Config, baseline float64, seed uint64, load trace.Clas
 		testOS = guest.NewOS(guest.NewNativeCPU(h.Spawn("test")))
 		testOS.MarkBooted()
 		if err := applyLoad(nil); err != nil {
-			return row, err
+			return row, nil, err
 		}
 		startSampling()
 	case OnVM:
-		if err := fig1VM(k, h, "testvm", func(vm *vmm.VM) {
+		if err := fig1VM(k, h, "testvm", otr, func(vm *vmm.VM) {
 			testOS = vm.Guest()
 			if err := applyLoad(vm); err != nil {
 				panic(err)
 			}
 			startSampling()
 		}); err != nil {
-			return row, err
+			return row, nil, err
 		}
 	}
 
@@ -256,10 +282,10 @@ func fig1Scenario(cfg Fig1Config, baseline float64, seed uint64, load trace.Clas
 	horizon := sim.DurationOf(float64(cfg.Samples)*cfg.TaskSeconds*8 + 300)
 	_ = k.RunUntil(sim.Time(horizon))
 	if stat.N() < cfg.Samples {
-		return row, fmt.Errorf("experiments: only %d/%d samples completed", stat.N(), cfg.Samples)
+		return row, nil, fmt.Errorf("experiments: only %d/%d samples completed", stat.N(), cfg.Samples)
 	}
 	row.Mean, row.Std, row.Min, row.Max, row.N = stat.Mean(), stat.Stddev(), stat.Min(), stat.Max(), stat.N()
-	return row, nil
+	return row, otr, nil
 }
 
 // Figure1Table renders the rows like the paper's figure (one bar each).

@@ -218,7 +218,7 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 	const outage = 300 * sim.Second
 	for _, at := range in.Times(mtbf, 4*sim.Hour) {
 		in.At(at, func() {
-			if sess.State() != "running" {
+			if sess.State() != core.StateRunning {
 				return
 			}
 			victim := sess.Node().Name()

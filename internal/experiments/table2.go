@@ -7,6 +7,7 @@ import (
 	"vmgrid/internal/core"
 	"vmgrid/internal/hostos"
 	"vmgrid/internal/hw"
+	"vmgrid/internal/obs"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 	"vmgrid/internal/trace"
@@ -20,6 +21,10 @@ type Table2Config struct {
 	// Workers bounds concurrent samples; <= 0 means one per CPU.
 	// Output is identical for every value.
 	Workers int
+	// Trace, when non-nil, collects one tracer per sample (in sample
+	// order, so the set is byte-identical at any worker count). Leaving
+	// it nil keeps the samples on the nil-sink fast path.
+	Trace *obs.TraceSet
 }
 
 // DefaultTable2Config matches the paper.
@@ -63,24 +68,36 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 	// 6×Samples samples and fan out. Each sample builds its own grid from
 	// the runner-derived seed, so cells fill in parallel and the rows are
 	// identical at any worker count.
-	elapsed, err := RunSamples(context.Background(), cfg.Seed, len(cells)*cfg.Samples, cfg.Workers,
-		func(i int, seed uint64) (float64, error) {
+	type sampleOut struct {
+		v  float64
+		tr *obs.Tracer
+	}
+	results, err := RunSamples(context.Background(), cfg.Seed, len(cells)*cfg.Samples, cfg.Workers,
+		func(i int, seed uint64) (sampleOut, error) {
 			c := cells[i/cfg.Samples]
-			v, err := table2Sample(seed, c.mode, c.disk, c.access)
+			v, tr, err := table2Sample(seed, c.mode, c.disk, c.access, cfg.Trace != nil)
 			if err != nil {
-				return 0, fmt.Errorf("table2 %v/%s sample %d: %w", c.mode, c.label, i%cfg.Samples, err)
+				return sampleOut{}, fmt.Errorf("table2 %v/%s sample %d: %w", c.mode, c.label, i%cfg.Samples, err)
 			}
-			return v, nil
+			return sampleOut{v: v, tr: tr}, nil
 		})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Trace != nil {
+		// RunSamples returns in sample-index order regardless of worker
+		// interleaving, so this loop fixes the trace layout.
+		for i, r := range results {
+			c := cells[i/cfg.Samples]
+			cfg.Trace.Add(fmt.Sprintf("table2/VM-%s/%s/%d", c.mode, c.label, i%cfg.Samples), r.tr)
+		}
 	}
 
 	rows := make([]Table2Row, 0, len(cells))
 	for ci, c := range cells {
 		var stat sim.Stat
-		for _, v := range elapsed[ci*cfg.Samples : (ci+1)*cfg.Samples] {
-			stat.Add(v)
+		for _, r := range results[ci*cfg.Samples : (ci+1)*cfg.Samples] {
+			stat.Add(r.v)
 		}
 		rows = append(rows, Table2Row{
 			Mode: c.mode, Config: c.label,
@@ -91,25 +108,31 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 }
 
 // table2Sample measures one globusrun-to-ready startup on a fresh LAN
-// testbed with background host noise.
-func table2Sample(seed uint64, mode vmm.StartMode, disk core.DiskPolicy, access core.ImageAccess) (float64, error) {
+// testbed with background host noise. With traced set it also returns
+// the sample's tracer (nil otherwise — the free disabled path).
+func table2Sample(seed uint64, mode vmm.StartMode, disk core.DiskPolicy, access core.ImageAccess, traced bool) (float64, *obs.Tracer, error) {
 	g := core.NewGrid(seed)
+	var tr *obs.Tracer
+	if traced {
+		tr = obs.New(g.Kernel())
+		g.SetTracer(tr)
+	}
 	if _, err := g.AddNode(core.NodeConfig{Name: "front", Site: "lan", Role: core.RoleFrontEnd}); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	compute, err := g.AddNode(core.NodeConfig{
 		Name: "compute", Site: "lan", Role: core.RoleCompute,
 		Slots: 1, DHCPPrefix: "10.0.0.",
 	})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if err := g.Net().BuildLAN("front", "compute"); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	img := storage.ImageInfo{Name: "rh72", OS: "redhat-7.2", DiskBytes: 2 * hw.GB, MemBytes: 128 * hw.MB}
 	if err := compute.InstallImage(img); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 
 	// Background noise: the light desktop activity of a real host.
@@ -128,16 +151,16 @@ func table2Sample(seed uint64, mode vmm.StartMode, disk core.DiskPolicy, access 
 		ready, sessErr = s, err
 	})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	_ = g.Kernel().RunUntil(sim.Time(2 * sim.Hour))
 	if sessErr != nil {
-		return 0, sessErr
+		return 0, nil, sessErr
 	}
 	if ready == nil || ready.EventAt("ready") < 0 {
-		return 0, fmt.Errorf("experiments: session never ready")
+		return 0, nil, fmt.Errorf("experiments: session never ready")
 	}
-	return ready.EventAt("ready").Sub(ready.EventAt("submitted")).Seconds(), nil
+	return ready.EventAt("ready").Sub(ready.EventAt("submitted")).Seconds(), tr, nil
 }
 
 // Table2Table renders rows like the paper's Table 2.

@@ -16,6 +16,8 @@ import (
 
 	"vmgrid/internal/hostos"
 	"vmgrid/internal/netsim"
+	"vmgrid/internal/obs"
+	"vmgrid/internal/retry"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 )
@@ -126,7 +128,12 @@ type Client struct {
 	registry *Registry
 	node     string
 	host     *hostos.Host
+	trace    *obs.Tracer
 }
+
+// SetTracer records a span per submission (the full globusrun
+// envelope) into tr. A nil tracer (the default) disables tracing.
+func (c *Client) SetTracer(tr *obs.Tracer) { c.trace = tr }
 
 // NewClient creates a submitting client at clientNode, running its
 // local work on clientHost.
@@ -145,7 +152,10 @@ func (c *Client) Submit(serverNode string, job Job, done func(error)) error {
 	if gk == nil {
 		return fmt.Errorf("%w: %s", ErrNoGatekeeper, serverNode)
 	}
+	sp := c.trace.Begin("gram", "rpc", "submit:"+job.Name)
+	c.trace.Metrics().Counter("gram.submissions").Inc()
 	fail := func(err error) {
+		sp.EndErr(err)
 		if done != nil {
 			done(err)
 		}
@@ -181,17 +191,16 @@ func (c *Client) Submit(serverNode string, job Job, done func(error)) error {
 	return nil
 }
 
-// RetryPolicy caps SubmitRetry's backoff schedule.
-type RetryPolicy struct {
-	// MaxAttempts is the total number of submissions (values ≤ 1 disable
-	// retry).
-	MaxAttempts int
-	// Backoff is the delay before the second attempt; it doubles per
-	// retry, capped at MaxBackoff. Zero uses 500 ms.
-	Backoff sim.Duration
-	// MaxBackoff caps the doubling (0 = uncapped).
-	MaxBackoff sim.Duration
-}
+// RetryPolicy caps SubmitRetry's backoff schedule (base 500 ms when
+// Backoff is zero; values ≤ 1 in MaxAttempts disable retry).
+//
+// Deprecated: RetryPolicy is now an alias for the middleware-wide
+// retry.Policy; construct that type directly.
+type RetryPolicy = retry.Policy
+
+// gramBaseBackoff is the historical base backoff applied when the
+// policy leaves Backoff zero.
+const gramBaseBackoff = 500 * sim.Millisecond
 
 // SubmitRetry submits like Submit but reissues transient failures —
 // ErrUnavailable, meaning the request never reached the gatekeeper and
@@ -199,25 +208,16 @@ type RetryPolicy struct {
 // fatal control-path errors pass through unchanged after the first
 // attempt. The final error keeps its ErrUnavailable wrapping so callers
 // can distinguish "gave up retrying" from "the job failed".
-func (c *Client) SubmitRetry(serverNode string, job Job, p RetryPolicy, done func(error)) error {
-	if p.MaxAttempts < 1 {
-		p.MaxAttempts = 1
-	}
-	backoff := p.Backoff
-	if backoff <= 0 {
-		backoff = 500 * sim.Millisecond
-	}
+func (c *Client) SubmitRetry(serverNode string, job Job, p retry.Policy, done func(error)) error {
+	attempts := p.Attempts()
 	k := c.host.Kernel()
-	var attempt func(n int, wait sim.Duration) error
-	attempt = func(n int, wait sim.Duration) error {
+	var attempt func(n int) error
+	attempt = func(n int) error {
 		return c.Submit(serverNode, job, func(err error) {
-			if err != nil && errors.Is(err, ErrUnavailable) && n < p.MaxAttempts {
-				next := wait * 2
-				if p.MaxBackoff > 0 && next > p.MaxBackoff {
-					next = p.MaxBackoff
-				}
-				k.After(wait, func() {
-					if retryErr := attempt(n+1, next); retryErr != nil && done != nil {
+			if err != nil && errors.Is(err, ErrUnavailable) && n < attempts {
+				c.trace.Metrics().Counter("gram.retries").Inc()
+				k.After(p.Delay(n, gramBaseBackoff), func() {
+					if retryErr := attempt(n + 1); retryErr != nil && done != nil {
 						done(retryErr)
 					}
 				})
@@ -228,7 +228,7 @@ func (c *Client) SubmitRetry(serverNode string, job Job, p RetryPolicy, done fun
 			}
 		})
 	}
-	return attempt(1, backoff)
+	return attempt(1)
 }
 
 // stageChunk is the transfer unit of explicit staging.

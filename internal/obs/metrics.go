@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"sort"
+
+	"vmgrid/internal/sim"
+)
+
+// Registry holds named counters, gauges, and simulated-time histograms.
+// Instruments are created on first use and cached; a nil Registry hands
+// out nil instruments whose methods are no-ops, so instrumented code
+// never branches on "is tracing on".
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing count. Nil-safe.
+type Counter struct{ v float64 }
+
+// Gauge is a point-in-time value. Nil-safe.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Histogram buckets simulated durations by decade: <10µs, <100µs, …,
+// <100s, and an overflow bucket. Nil-safe.
+type Histogram struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     sim.Duration
+	max     sim.Duration
+}
+
+// histBuckets: 8 decade buckets starting at 10µs plus overflow.
+const histBuckets = 9
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Add increases the counter by v.
+func (c *Counter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	c.v += v
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v, g.set = v, true
+}
+
+// Value returns the last set value (0 on nil or never-set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d sim.Duration) {
+	if h == nil {
+		return
+	}
+	h.buckets[histBucket(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// histBucket maps a duration to its decade bucket index.
+func histBucket(d sim.Duration) int {
+	bound := sim.Duration(10) // 10 µs
+	for i := 0; i < histBuckets-1; i++ {
+		if d < bound {
+			return i
+		}
+		bound *= 10
+	}
+	return histBuckets - 1
+}
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// GaugePoint is one gauge in a snapshot.
+type GaugePoint struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramPoint summarizes one histogram in a snapshot.
+type HistogramPoint struct {
+	Name    string  `json:"name"`
+	Count   uint64  `json:"count"`
+	SumSec  float64 `json:"sumSec"`
+	MeanSec float64 `json:"meanSec"`
+	MaxSec  float64 `json:"maxSec"`
+}
+
+// Snapshot is a deterministic (name-sorted) view of a registry,
+// serializable over the wire.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters,omitempty"`
+	Gauges     []GaugePoint     `json:"gauges,omitempty"`
+	Histograms []HistogramPoint `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's instruments sorted by name. Safe on
+// a nil registry (returns an empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: c.v})
+	}
+	for name, g := range r.gauges {
+		if g.set {
+			s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: g.v})
+		}
+	}
+	for name, h := range r.hists {
+		p := HistogramPoint{
+			Name:   name,
+			Count:  h.count,
+			SumSec: h.sum.Seconds(),
+			MaxSec: h.max.Seconds(),
+		}
+		if h.count > 0 {
+			p.MeanSec = h.sum.Seconds() / float64(h.count)
+		}
+		s.Histograms = append(s.Histograms, p)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

@@ -1,0 +1,161 @@
+// Package obs is the middleware's observability layer: hierarchical
+// spans and a metrics registry keyed on the deterministic sim clock.
+// The paper's evaluation is entirely about where time goes — Figure 1's
+// virtualization slowdown, Table 1's VFS overhead, Table 2's per-step
+// startup latency — and obs makes that decomposition a first-class
+// output instead of something re-derived from Session.Events by hand.
+//
+// Two properties shape the design:
+//
+//   - Determinism. Spans are stamped with sim.Time, never wall clock,
+//     and every snapshot/emission order is a pure function of recorded
+//     data (insertion order for spans, sorted names for metrics). A
+//     trace produced under the parallel experiment runner is therefore
+//     byte-identical at any -parallel worker count.
+//
+//   - Nil-sink fast path. Tracing is off by default: a nil *Tracer (and
+//     the nil *Counter/*Gauge/*Histogram handles it hands out) is fully
+//     usable — every method is a nil-receiver no-op — so instrumented
+//     hot paths pay one pointer test when disabled, nothing more.
+//
+// obs depends only on internal/sim and the standard library.
+package obs
+
+import "vmgrid/internal/sim"
+
+// Clock yields the current simulated time. *sim.Kernel satisfies it.
+type Clock interface {
+	Now() sim.Time
+}
+
+// SpanRecord is one completed (or still-open) interval on a track.
+// Track groups related spans onto one timeline row (a session name, a
+// VM name, "vfs"); Cat classifies the span ("phase", "rpc", "vmm",
+// "supervisor"); Name says what happened. An open span has End < 0.
+type SpanRecord struct {
+	Track string   `json:"track"`
+	Cat   string   `json:"cat"`
+	Name  string   `json:"name"`
+	Start sim.Time `json:"startUs"`
+	End   sim.Time `json:"endUs"`
+	// Note carries an optional annotation (an error, a byte count)
+	// surfaced in trace-viewer args.
+	Note string `json:"note,omitempty"`
+	// Instant marks a point event rather than an interval.
+	Instant bool `json:"instant,omitempty"`
+}
+
+// Dur returns the span length, or 0 for a span that never ended.
+func (r SpanRecord) Dur() sim.Duration {
+	if r.End < r.Start {
+		return 0
+	}
+	return r.End.Sub(r.Start)
+}
+
+// Tracer records spans and instants against one sim clock and owns a
+// metrics Registry. A nil Tracer is the disabled state; every method
+// (and Metrics(), which returns a nil Registry) is safe and free on it.
+// Tracers are not goroutine-safe by design: like the kernel they
+// observe, each belongs to exactly one simulation goroutine.
+type Tracer struct {
+	clock Clock
+	reg   *Registry
+	spans []SpanRecord
+}
+
+// New returns an enabled Tracer reading the given clock.
+func New(clock Clock) *Tracer {
+	return &Tracer{clock: clock, reg: NewRegistry()}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Metrics returns the tracer's registry; nil for a nil tracer (the nil
+// registry still hands out working no-op instruments).
+func (t *Tracer) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Span is a handle to an open span. The zero Span (from a nil tracer)
+// ignores End/Note calls.
+type Span struct {
+	t   *Tracer
+	idx int
+	ok  bool
+}
+
+// Begin opens a span at the current sim time. Close it with End.
+func (t *Tracer) Begin(track, cat, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.spans = append(t.spans, SpanRecord{
+		Track: track, Cat: cat, Name: name,
+		Start: t.clock.Now(), End: -1,
+	})
+	return Span{t: t, idx: len(t.spans) - 1, ok: true}
+}
+
+// End closes the span at the current sim time.
+func (s Span) End() {
+	if !s.ok {
+		return
+	}
+	s.t.spans[s.idx].End = s.t.clock.Now()
+}
+
+// EndErr closes the span, annotating it with err when non-nil.
+func (s Span) EndErr(err error) {
+	if !s.ok {
+		return
+	}
+	if err != nil {
+		s.t.spans[s.idx].Note = err.Error()
+	}
+	s.End()
+}
+
+// Note annotates the open span.
+func (s Span) Note(note string) {
+	if !s.ok {
+		return
+	}
+	s.t.spans[s.idx].Note = note
+}
+
+// SpanAt records a complete span with explicit bounds — used when the
+// interval is reconstructed after the fact (e.g. session lifecycle
+// phases derived from consecutive marks).
+func (t *Tracer) SpanAt(track, cat, name string, start, end sim.Time) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, SpanRecord{
+		Track: track, Cat: cat, Name: name, Start: start, End: end,
+	})
+}
+
+// Instant records a zero-duration event at the current sim time.
+func (t *Tracer) Instant(track, cat, name string) {
+	if t == nil {
+		return
+	}
+	now := t.clock.Now()
+	t.spans = append(t.spans, SpanRecord{
+		Track: track, Cat: cat, Name: name, Start: now, End: now, Instant: true,
+	})
+}
+
+// Spans returns the recorded spans in recording order. The slice is
+// shared; callers must not mutate it.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}

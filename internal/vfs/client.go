@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 
+	"vmgrid/internal/obs"
+	"vmgrid/internal/retry"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 )
@@ -20,25 +22,17 @@ var (
 )
 
 // RetryPolicy adds fault tolerance to a client: each RPC attempt gets a
-// per-op timeout, and failed or timed-out attempts are reissued with
-// capped exponential backoff before the client gives up and reports
-// ErrUnavailable. The zero value keeps the historical behavior: one
-// attempt, no timeout (a lost RPC then hangs forever, so any lossy
-// transport needs a Timeout).
-type RetryPolicy struct {
-	// MaxAttempts is the total number of tries per RPC (values ≤ 1
-	// disable retry).
-	MaxAttempts int
-	// Timeout abandons an attempt that has not completed (0 disables).
-	// It must exceed the worst-case RPC service time, queueing included,
-	// or healthy-but-slow servers will look dead.
-	Timeout sim.Duration
-	// Backoff is the delay before the second attempt; it doubles per
-	// retry, capped at MaxBackoff. Zero uses 10 ms.
-	Backoff sim.Duration
-	// MaxBackoff caps the doubling (0 = uncapped).
-	MaxBackoff sim.Duration
-}
+// per-op timeout (Policy.Timeout — it must exceed the worst-case RPC
+// service time, queueing included, or healthy-but-slow servers will
+// look dead), and failed or timed-out attempts are reissued with capped
+// exponential backoff (base 10 ms when unset) before the client gives
+// up and reports ErrUnavailable. The zero value keeps the historical
+// behavior: one attempt, no timeout (a lost RPC then hangs forever, so
+// any lossy transport needs a Timeout).
+//
+// Deprecated: RetryPolicy is now an alias for the middleware-wide
+// retry.Policy; construct that type directly.
+type RetryPolicy = retry.Policy
 
 // DefaultRetry is the policy supervised sessions thread through their
 // mounts: generous per-op timeouts so only genuinely lost RPCs reissue.
@@ -77,7 +71,10 @@ type Config struct {
 	MaxDirty int64
 	// Retry is the transport fault-tolerance policy (zero = one attempt,
 	// no timeout — the presets' historical behavior).
-	Retry RetryPolicy
+	Retry retry.Policy
+	// Trace, when non-nil, records a span per RPC attempt and the
+	// client's counters into the shared observability layer.
+	Trace *obs.Tracer
 }
 
 // Presets matching the paper's three deployment points.
@@ -150,6 +147,13 @@ type Client struct {
 	retries                 uint64
 	lastErr                 error
 
+	// Cached instruments; the nil instruments of a nil Trace make every
+	// recording below a single pointer test.
+	mRPCs    *obs.Counter
+	mRetries *obs.Counter
+	mErrs    *obs.Counter
+	hRPC     *obs.Histogram
+
 	// write-back state
 	dirty        int64
 	stalled      []stalledWrite
@@ -174,12 +178,17 @@ func NewClient(k *sim.Kernel, t Transport, cfg Config) (*Client, error) {
 	if cfg.WriteBack && cfg.MaxDirty == 0 {
 		cfg.MaxDirty = 4 << 20
 	}
+	reg := cfg.Trace.Metrics()
 	return &Client{
-		k:     k,
-		t:     t,
-		cfg:   cfg,
-		lru:   list.New(),
-		index: make(map[blockKey]*list.Element),
+		k:        k,
+		t:        t,
+		cfg:      cfg,
+		lru:      list.New(),
+		index:    make(map[blockKey]*list.Element),
+		mRPCs:    reg.Counter("vfs.rpcs"),
+		mRetries: reg.Counter("vfs.retries"),
+		mErrs:    reg.Counter("vfs.transport-errors"),
+		hRPC:     reg.Histogram("vfs.rpc-latency"),
 	}, nil
 }
 
@@ -207,31 +216,33 @@ func (c *Client) LastError() error { return c.lastErr }
 // policy (0 without a policy).
 func (c *Client) Retries() uint64 { return c.retries }
 
+// vfsBaseBackoff is the historical base backoff applied when the
+// policy leaves Backoff zero.
+const vfsBaseBackoff = 10 * sim.Millisecond
+
 // transact issues one RPC through the retry policy. issue is invoked
 // once per attempt with that attempt's completion callback; done
 // receives nil on success, or the final error — wrapped in
 // ErrUnavailable when the policy was exhausted — once no attempts
-// remain. Late replies from timed-out attempts are ignored.
-func (c *Client) transact(issue func(done func(error)), done func(error)) {
+// remain. Late replies from timed-out attempts are ignored. op labels
+// the RPC's trace span ("read"/"write").
+func (c *Client) transact(op string, issue func(done func(error)), done func(error)) {
 	p := c.cfg.Retry
-	attempts := p.MaxAttempts
-	if attempts < 1 {
-		attempts = 1
-	}
-	firstBackoff := p.Backoff
-	if firstBackoff <= 0 {
-		firstBackoff = 10 * sim.Millisecond
-	}
-	var attempt func(n int, backoff sim.Duration)
-	attempt = func(n int, backoff sim.Duration) {
+	attempts := p.Attempts()
+	var attempt func(n int)
+	attempt = func(n int) {
 		settled := false
 		var timer sim.EventID
+		sp := c.cfg.Trace.Begin("vfs", "rpc", op)
+		start := c.k.Now()
 		finish := func(err error) {
 			if settled {
 				return // late reply after timeout, or stale timer
 			}
 			settled = true
 			c.k.Cancel(timer)
+			sp.EndErr(err)
+			c.hRPC.Observe(c.k.Now().Sub(start))
 			if err == nil {
 				done(nil)
 				return
@@ -250,11 +261,8 @@ func (c *Client) transact(issue func(done func(error)), done func(error)) {
 				return
 			}
 			c.retries++
-			next := backoff * 2
-			if p.MaxBackoff > 0 && next > p.MaxBackoff {
-				next = p.MaxBackoff
-			}
-			c.k.After(backoff, func() { attempt(n+1, next) })
+			c.mRetries.Inc()
+			c.k.After(p.Delay(n, vfsBaseBackoff), func() { attempt(n + 1) })
 		}
 		if p.Timeout > 0 {
 			timer = c.k.After(p.Timeout, func() {
@@ -263,12 +271,13 @@ func (c *Client) transact(issue func(done func(error)), done func(error)) {
 		}
 		issue(finish)
 	}
-	attempt(1, firstBackoff)
+	attempt(1)
 }
 
 func (c *Client) noteErr(err error) {
 	if err != nil {
 		c.transportErrs++
+		c.mErrs.Inc()
 		c.lastErr = err
 	}
 }
@@ -372,7 +381,8 @@ func (f *RemoteFile) Write(off, size int64, done func()) {
 	if !c.cfg.WriteBack {
 		c.enqueue(func() {
 			c.remoteOps++
-			c.transact(func(cb func(error)) {
+			c.mRPCs.Inc()
+			c.transact("write", func(cb func(error)) {
 				c.t.Write(f.file, off, size, cb)
 			}, func(err error) {
 				c.noteErr(err)
@@ -399,7 +409,8 @@ func (f *RemoteFile) Write(off, size int64, done func()) {
 	c.dirty += size
 	c.enqueue(func() {
 		c.remoteOps++
-		c.transact(func(cb func(error)) {
+		c.mRPCs.Inc()
+		c.transact("write", func(cb func(error)) {
 			c.t.Write(f.file, off, size, cb)
 		}, func(err error) {
 			c.noteErr(err)
@@ -505,8 +516,9 @@ func (c *Client) readAfterClientCost(file string, off, size int64, done func()) 
 		bytes := count * rsize
 		c.enqueue(func() {
 			c.remoteOps++
+			c.mRPCs.Inc()
 			c.bytesFetched += uint64(bytes)
-			c.transact(func(cb func(error)) {
+			c.transact("read", func(cb func(error)) {
 				c.t.Read(file, startBlock*rsize, bytes, cb)
 			}, func(err error) {
 				c.noteErr(err)

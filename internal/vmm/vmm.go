@@ -14,6 +14,7 @@ import (
 
 	"vmgrid/internal/guest"
 	"vmgrid/internal/hostos"
+	"vmgrid/internal/obs"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 )
@@ -123,6 +124,9 @@ type Config struct {
 	MemImage storage.Backend
 	// Cost overrides the cost model (zero value = DefaultCostModel).
 	Cost CostModel
+	// Trace, when non-nil, records lifecycle spans (init, boot, restore,
+	// suspend) and the world-switch-rate gauge.
+	Trace *obs.Tracer
 }
 
 // VM is one virtual machine: a monitor process on a host plus the guest
@@ -138,6 +142,10 @@ type VM struct {
 	act   guest.Activity
 	sink  func(rate float64)
 	rate  float64
+
+	// gWS tracks the modeled world-switch rate (Hz) while the host
+	// contends with the monitor; nil (free) when tracing is off.
+	gWS *obs.Gauge
 }
 
 var _ guest.CPU = (*VM)(nil)
@@ -159,6 +167,7 @@ func New(host *hostos.Host, cfg Config) (*VM, error) {
 		cfg:   cfg,
 		cost:  cfg.Cost,
 		state: StateCreated,
+		gWS:   cfg.Trace.Metrics().Gauge("vmm.worldswitch-hz:" + cfg.Name),
 	}
 	vm.proc = host.Spawn("vmm:" + cfg.Name)
 	vm.proc.OnRate(func(float64) { vm.recompute() })
@@ -262,6 +271,9 @@ func (vm *VM) recompute() {
 			// and back.
 			wsRate := share / hostos.DefaultQuantum.Seconds()
 			wall += wsRate * vm.cost.WorldSwitch.Seconds()
+			vm.gWS.Set(wsRate)
+		} else {
+			vm.gWS.Set(0)
 		}
 		if vm.act.Contenders() > 1 {
 			// Guest context switches at quantum granularity, each one a

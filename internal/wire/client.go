@@ -8,6 +8,10 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"vmgrid/internal/obs"
+	"vmgrid/internal/retry"
+	"vmgrid/internal/sim"
 )
 
 // Config tunes the client's fault handling. The zero value selects the
@@ -19,15 +23,26 @@ type Config struct {
 	// round trip. Default 60 s (sessions pump hours of virtual time but
 	// only milliseconds of wall clock).
 	CallTimeout time.Duration
-	// MaxAttempts bounds dial-or-send attempts per Call. Only requests
+	// Retry schedules dial-or-send attempts per Call. Only requests
 	// that never reached the server are retried; once a request is on
 	// the wire, a lost reply surfaces as an error (resending could
-	// double-execute a non-idempotent operation). Default 4.
+	// double-execute a non-idempotent operation). The zero policy
+	// inherits the legacy MaxAttempts/Backoff fields below, themselves
+	// defaulting to 4 attempts from 50 ms, capped at 2 s.
+	Retry retry.Policy
+	// MaxAttempts bounds attempts per Call when Retry is zero.
+	//
+	// Deprecated: set Retry.MaxAttempts.
 	MaxAttempts int
-	// Backoff is the delay before the second attempt, doubling per
-	// attempt and capped at 2 s. Default 50 ms.
+	// Backoff is the pre-second-attempt delay when Retry is zero.
+	//
+	// Deprecated: set Retry.Backoff.
 	Backoff time.Duration
 }
+
+// wireBaseBackoff is the historical base backoff applied when the
+// policy leaves Backoff zero.
+const wireBaseBackoff = 50 * sim.Millisecond
 
 func (c *Config) fill() {
 	if c.DialTimeout <= 0 {
@@ -36,12 +51,40 @@ func (c *Config) fill() {
 	if c.CallTimeout <= 0 {
 		c.CallTimeout = 60 * time.Second
 	}
-	if c.MaxAttempts <= 0 {
-		c.MaxAttempts = 4
+	if c.Retry.IsZero() {
+		c.Retry = retry.Policy{
+			MaxAttempts: c.MaxAttempts,
+			Backoff:     sim.Duration(c.Backoff.Microseconds()),
+		}
 	}
-	if c.Backoff <= 0 {
-		c.Backoff = 50 * time.Millisecond
+	if c.Retry.MaxAttempts <= 0 {
+		c.Retry.MaxAttempts = 4
 	}
+	if c.Retry.MaxBackoff <= 0 {
+		c.Retry.MaxBackoff = 2 * sim.Second
+	}
+}
+
+// CallOption tunes one Call (and every convenience wrapper built on
+// it) without touching the client's Config.
+type CallOption func(*callOpts)
+
+type callOpts struct {
+	deadline time.Duration
+	policy   retry.Policy
+	hasRetry bool
+}
+
+// WithDeadline overrides the per-attempt CallTimeout for this call.
+func WithDeadline(d time.Duration) CallOption {
+	return func(o *callOpts) { o.deadline = d }
+}
+
+// WithRetry overrides the retry policy for this call (e.g. a single
+// attempt for a probe, or a patient schedule for a just-restarted
+// server).
+func WithRetry(p retry.Policy) CallOption {
+	return func(o *callOpts) { o.policy, o.hasRetry = p, true }
 }
 
 // Client talks to a vmgridd server over TCP. A broken connection is
@@ -115,9 +158,14 @@ func (c *Client) dropConn() {
 
 // Call performs one round trip. params may be nil. The response data is
 // unmarshaled into out when out is non-nil. Attempts that fail before
-// the request is sent (dial errors, send errors) are retried with
-// backoff; failures after the send are returned as-is.
-func (c *Client) Call(op string, params any, out any) error {
+// the request is sent (dial errors, send errors) are retried per the
+// configured retry.Policy; failures after the send are returned as-is.
+// Options adjust the deadline or policy for this call only.
+func (c *Client) Call(op string, params any, out any, opts ...CallOption) error {
+	var o callOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var raw json.RawMessage
@@ -128,15 +176,18 @@ func (c *Client) Call(op string, params any, out any) error {
 		}
 		raw = b
 	}
-	backoff := c.cfg.Backoff
+	policy := c.cfg.Retry
+	if o.hasRetry {
+		policy = o.policy
+	}
+	callTimeout := c.cfg.CallTimeout
+	if o.deadline > 0 {
+		callTimeout = o.deadline
+	}
 	var lastErr error
-	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
-		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
-			if backoff > 2*time.Second {
-				backoff = 2 * time.Second
-			}
+	for attempt := 1; attempt <= policy.Attempts(); attempt++ {
+		if attempt > 1 {
+			time.Sleep(policy.Delay(attempt-1, wireBaseBackoff).Std())
 		}
 		if err := c.ensureConn(); err != nil {
 			lastErr = err
@@ -144,7 +195,7 @@ func (c *Client) Call(op string, params any, out any) error {
 		}
 		c.nextID++
 		req := Request{ID: c.nextID, Op: op, Params: raw}
-		deadline := time.Now().Add(c.cfg.CallTimeout)
+		deadline := time.Now().Add(callTimeout)
 		_ = c.conn.SetWriteDeadline(deadline)
 		if err := c.enc.Encode(req); err != nil {
 			// The request never made it out whole; safe to resend on a
@@ -177,7 +228,7 @@ func (c *Client) recv(req Request, out any) error {
 		return fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
 	}
 	if resp.Error != "" {
-		return fmt.Errorf("wire: server: %s", resp.Error)
+		return decodeError(resp)
 	}
 	if out != nil {
 		if err := json.Unmarshal(resp.Data, out); err != nil {
@@ -187,87 +238,108 @@ func (c *Client) recv(req Request, out any) error {
 	return nil
 }
 
-// Convenience wrappers for the common operations.
+// Convenience wrappers for the common operations. Each forwards its
+// CallOptions to Call.
 
 // AddNode attaches a node to the served grid.
-func (c *Client) AddNode(p AddNodeParams) error { return c.Call("add-node", p, nil) }
+func (c *Client) AddNode(p AddNodeParams, opts ...CallOption) error {
+	return c.Call("add-node", p, nil, opts...)
+}
 
 // Connect links two nodes.
-func (c *Client) Connect(a, b, kind string) error {
-	return c.Call("connect", ConnectParams{A: a, B: b, Kind: kind}, nil)
+func (c *Client) Connect(a, b, kind string, opts ...CallOption) error {
+	return c.Call("connect", ConnectParams{A: a, B: b, Kind: kind}, nil, opts...)
 }
 
 // InstallImage installs an image on a node.
-func (c *Client) InstallImage(p InstallImageParams) error { return c.Call("install-image", p, nil) }
+func (c *Client) InstallImage(p InstallImageParams, opts ...CallOption) error {
+	return c.Call("install-image", p, nil, opts...)
+}
 
 // CreateData provisions user data on a node.
-func (c *Client) CreateData(p CreateDataParams) error { return c.Call("create-data", p, nil) }
+func (c *Client) CreateData(p CreateDataParams, opts ...CallOption) error {
+	return c.Call("create-data", p, nil, opts...)
+}
 
 // NewSession starts a VM session and waits for it to be ready.
-func (c *Client) NewSession(p SessionParams) (SessionInfo, error) {
+func (c *Client) NewSession(p SessionParams, opts ...CallOption) (SessionInfo, error) {
 	var info SessionInfo
-	err := c.Call("new-session", p, &info)
+	err := c.Call("new-session", p, &info, opts...)
 	return info, err
 }
 
 // Run executes a workload in a session and waits for completion.
-func (c *Client) Run(p RunParams) (RunResult, error) {
+func (c *Client) Run(p RunParams, opts ...CallOption) (RunResult, error) {
 	var res RunResult
-	err := c.Call("run", p, &res)
+	err := c.Call("run", p, &res, opts...)
 	return res, err
 }
 
 // Migrate moves a session to another node.
-func (c *Client) Migrate(session, target string) (SessionInfo, error) {
+func (c *Client) Migrate(session, target string, opts ...CallOption) (SessionInfo, error) {
 	var info SessionInfo
-	err := c.Call("migrate", MigrateParams{Session: session, Target: target}, &info)
+	err := c.Call("migrate", MigrateParams{Session: session, Target: target}, &info, opts...)
 	return info, err
 }
 
 // Hibernate checkpoints a session.
-func (c *Client) Hibernate(session string) (SessionInfo, error) {
+func (c *Client) Hibernate(session string, opts ...CallOption) (SessionInfo, error) {
 	var info SessionInfo
-	err := c.Call("hibernate", SessionRef{Session: session}, &info)
+	err := c.Call("hibernate", SessionRef{Session: session}, &info, opts...)
 	return info, err
 }
 
 // Wake resumes a hibernated session.
-func (c *Client) Wake(session string) (SessionInfo, error) {
+func (c *Client) Wake(session string, opts ...CallOption) (SessionInfo, error) {
 	var info SessionInfo
-	err := c.Call("wake", SessionRef{Session: session}, &info)
+	err := c.Call("wake", SessionRef{Session: session}, &info, opts...)
 	return info, err
 }
 
 // Shutdown ends a session.
-func (c *Client) Shutdown(session string) error {
-	return c.Call("shutdown", SessionRef{Session: session}, nil)
+func (c *Client) Shutdown(session string, opts ...CallOption) error {
+	return c.Call("shutdown", SessionRef{Session: session}, nil, opts...)
 }
 
 // Usage fetches a session's metered consumption.
-func (c *Client) Usage(session string) (UsageInfo, error) {
+func (c *Client) Usage(session string, opts ...CallOption) (UsageInfo, error) {
 	var u UsageInfo
-	err := c.Call("usage", SessionRef{Session: session}, &u)
+	err := c.Call("usage", SessionRef{Session: session}, &u, opts...)
 	return u, err
 }
 
 // Query lists information-service records of a kind.
-func (c *Client) Query(kind string) ([]QueryEntry, error) {
+func (c *Client) Query(kind string, opts ...CallOption) ([]QueryEntry, error) {
 	var entries []QueryEntry
-	err := c.Call("query", QueryParams{Kind: kind}, &entries)
+	err := c.Call("query", QueryParams{Kind: kind}, &entries, opts...)
 	return entries, err
 }
 
 // Status fetches the fabric summary.
-func (c *Client) Status() (StatusInfo, error) {
+func (c *Client) Status(opts ...CallOption) (StatusInfo, error) {
 	var st StatusInfo
-	err := c.Call("status", nil, &st)
+	err := c.Call("status", nil, &st, opts...)
 	return st, err
 }
 
+// Metrics fetches the served grid's metrics snapshot.
+func (c *Client) Metrics(opts ...CallOption) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	err := c.Call("metrics", nil, &snap, opts...)
+	return snap, err
+}
+
+// Spans fetches the served grid's recorded spans.
+func (c *Client) Spans(opts ...CallOption) ([]obs.SpanRecord, error) {
+	var spans []obs.SpanRecord
+	err := c.Call("spans", nil, &spans, opts...)
+	return spans, err
+}
+
 // Ping checks liveness.
-func (c *Client) Ping() error {
+func (c *Client) Ping(opts ...CallOption) error {
 	var pong string
-	if err := c.Call("ping", nil, &pong); err != nil {
+	if err := c.Call("ping", nil, &pong, opts...); err != nil {
 		return err
 	}
 	if pong != "pong" {

@@ -2,7 +2,6 @@ package wire
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 )
 
@@ -30,7 +29,9 @@ func (l *Local) Call(op string, params any, out any) error {
 	}
 	resp := l.srv.dispatch(req)
 	if resp.Error != "" {
-		return errors.New(resp.Error)
+		// Decode through the same code table as the TCP client, so
+		// errors.Is matching behaves identically in-process.
+		return decodeError(resp)
 	}
 	if out != nil {
 		if err := json.Unmarshal(resp.Data, out); err != nil {

@@ -14,6 +14,7 @@ import (
 	"vmgrid/internal/gis"
 	"vmgrid/internal/guest"
 	"vmgrid/internal/hw"
+	"vmgrid/internal/obs"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 	"vmgrid/internal/vmm"
@@ -23,6 +24,7 @@ import (
 type Server struct {
 	mu       sync.Mutex
 	grid     *core.Grid
+	trace    *obs.Tracer
 	sessions map[string]*core.Session
 
 	listener net.Listener
@@ -38,10 +40,16 @@ type Server struct {
 	draining bool
 }
 
-// NewServer creates a server around a fresh grid seeded with seed.
+// NewServer creates a server around a fresh grid seeded with seed. The
+// grid is traced from birth so the "metrics" and "spans" ops always have
+// data to report.
 func NewServer(seed uint64) *Server {
+	grid := core.NewGrid(seed)
+	tr := obs.New(grid.Kernel())
+	grid.SetTracer(tr)
 	return &Server{
-		grid:     core.NewGrid(seed),
+		grid:     grid,
+		trace:    tr,
 		sessions: make(map[string]*core.Session),
 		closed:   make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
@@ -174,6 +182,7 @@ func (s *Server) dispatch(req Request) Response {
 	resp := Response{ID: req.ID, Data: data}
 	if err != nil {
 		resp.Error = err.Error()
+		resp.Code = ErrorCode(err)
 	}
 	return resp
 }
@@ -317,7 +326,7 @@ func (s *Server) handle(op string, params json.RawMessage) (json.RawMessage, err
 		}
 		sess, ok := s.sessions[p.Session]
 		if !ok {
-			return nil, fmt.Errorf("wire: unknown session %q", p.Session)
+			return nil, fmt.Errorf("%w %q", ErrUnknownSession, p.Session)
 		}
 		w := guest.Workload{
 			Name: p.Name, CPUSeconds: p.CPUSeconds,
@@ -352,7 +361,7 @@ func (s *Server) handle(op string, params json.RawMessage) (json.RawMessage, err
 		}
 		sess, ok := s.sessions[p.Session]
 		if !ok {
-			return nil, fmt.Errorf("wire: unknown session %q", p.Session)
+			return nil, fmt.Errorf("%w %q", ErrUnknownSession, p.Session)
 		}
 		var migErr error
 		done := false
@@ -374,7 +383,7 @@ func (s *Server) handle(op string, params json.RawMessage) (json.RawMessage, err
 		}
 		sess, ok := s.sessions[p.Session]
 		if !ok {
-			return nil, fmt.Errorf("wire: unknown session %q", p.Session)
+			return nil, fmt.Errorf("%w %q", ErrUnknownSession, p.Session)
 		}
 		var hErr error
 		done := false
@@ -396,7 +405,7 @@ func (s *Server) handle(op string, params json.RawMessage) (json.RawMessage, err
 		}
 		sess, ok := s.sessions[p.Session]
 		if !ok {
-			return nil, fmt.Errorf("wire: unknown session %q", p.Session)
+			return nil, fmt.Errorf("%w %q", ErrUnknownSession, p.Session)
 		}
 		var wErr error
 		done := false
@@ -418,7 +427,7 @@ func (s *Server) handle(op string, params json.RawMessage) (json.RawMessage, err
 		}
 		sess, ok := s.sessions[p.Session]
 		if !ok {
-			return nil, fmt.Errorf("wire: unknown session %q", p.Session)
+			return nil, fmt.Errorf("%w %q", ErrUnknownSession, p.Session)
 		}
 		sess.Shutdown()
 		delete(s.sessions, p.Session)
@@ -431,7 +440,7 @@ func (s *Server) handle(op string, params json.RawMessage) (json.RawMessage, err
 		}
 		sess, ok := s.sessions[p.Session]
 		if !ok {
-			return nil, fmt.Errorf("wire: unknown session %q", p.Session)
+			return nil, fmt.Errorf("%w %q", ErrUnknownSession, p.Session)
 		}
 		u := sess.Usage()
 		return marshal(UsageInfo{
@@ -459,6 +468,16 @@ func (s *Server) handle(op string, params json.RawMessage) (json.RawMessage, err
 
 	case "status":
 		return marshal(s.status())
+
+	case "metrics":
+		return marshal(s.trace.Metrics().Snapshot())
+
+	case "spans":
+		spans := s.trace.Spans()
+		if spans == nil {
+			spans = []obs.SpanRecord{}
+		}
+		return marshal(spans)
 
 	default:
 		return nil, fmt.Errorf("wire: unknown op %q", op)
@@ -505,7 +524,7 @@ func sessionConfig(p SessionParams) (core.SessionConfig, error) {
 func sessionInfo(sess *core.Session) SessionInfo {
 	info := SessionInfo{
 		Name:        sess.Name(),
-		State:       sess.State(),
+		State:       sess.State().String(),
 		Addr:        sess.Addr(),
 		ImageServer: sess.ImageServer(),
 		LocalUser:   sess.LocalUser(),

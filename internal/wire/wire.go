@@ -21,10 +21,13 @@ type Request struct {
 	Params json.RawMessage `json:"params,omitempty"`
 }
 
-// Response is one server->client message.
+// Response is one server->client message. Code, when set, is the stable
+// wire code of a sentinel error (see errors.go); clients use it to
+// reconstruct typed errors for errors.Is matching.
 type Response struct {
 	ID    int64           `json:"id"`
 	Error string          `json:"error,omitempty"`
+	Code  string          `json:"code,omitempty"`
 	Data  json.RawMessage `json:"data,omitempty"`
 }
 
