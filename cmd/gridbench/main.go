@@ -8,6 +8,7 @@
 //	           ablation-sched|ablation-migration|ablation-rps|
 //	           ablation-recovery]
 //	          [-seed N] [-samples N] [-parallel N] [-trace out.json]
+//	          [-telemetry out.json]
 //
 // Independent simulation samples fan out across -parallel worker
 // goroutines (default: one per CPU). The tables are bit-identical for
@@ -18,6 +19,13 @@
 // or Perfetto), plus a per-phase latency table decomposing each cell's
 // startup wall clock. The trace bytes, like the tables, are identical
 // at every -parallel value.
+//
+// -telemetry runs the fig1 and table2 samples with the telemetry
+// pipeline attached — per-second scrapes of the node, session, and
+// task gauges with the standard SLO rules armed — and writes one
+// deterministic JSON file of every sample's time series and alert
+// firings. Like -trace, the bytes are identical at every -parallel
+// value.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 
 	"vmgrid/internal/experiments"
 	"vmgrid/internal/obs"
+	"vmgrid/internal/telemetry"
 )
 
 func main() {
@@ -46,12 +55,17 @@ func run(args []string) error {
 	format := fs.String("format", "text", "output format: text or csv")
 	parallel := fs.Int("parallel", 0, "worker goroutines per experiment (0 = one per CPU)")
 	tracePath := fs.String("trace", "", "write Chrome trace JSON of fig1/table2 samples to this file")
+	telemetryPath := fs.String("telemetry", "", "write telemetry time-series/alert JSON of fig1/table2 samples to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	var traceSet *obs.TraceSet
 	if *tracePath != "" {
 		traceSet = obs.NewTraceSet()
+	}
+	var telemetrySet *telemetry.Set
+	if *telemetryPath != "" {
+		telemetrySet = telemetry.NewSet()
 	}
 	var emit func(*experiments.Table)
 	switch *format {
@@ -74,6 +88,7 @@ func run(args []string) error {
 			cfg.Seed = *seed
 			cfg.Workers = workers
 			cfg.Trace = traceSet
+			cfg.Telemetry = telemetrySet
 			if *samples > 0 {
 				cfg.Samples = *samples
 			}
@@ -97,6 +112,7 @@ func run(args []string) error {
 			cfg.Seed = *seed
 			cfg.Workers = workers
 			cfg.Trace = traceSet
+			cfg.Telemetry = telemetrySet
 			if *samples > 0 {
 				cfg.Samples = *samples
 			}
@@ -184,7 +200,10 @@ func run(args []string) error {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
-		return writeTrace(traceSet, *tracePath, emit)
+		if err := writeTrace(traceSet, *tracePath, emit); err != nil {
+			return err
+		}
+		return writeTelemetry(telemetrySet, *telemetryPath)
 	}
 	runner, ok := runners[*exp]
 	if !ok {
@@ -198,7 +217,10 @@ func run(args []string) error {
 	if err := runner(); err != nil {
 		return err
 	}
-	return writeTrace(traceSet, *tracePath, emit)
+	if err := writeTrace(traceSet, *tracePath, emit); err != nil {
+		return err
+	}
+	return writeTelemetry(telemetrySet, *telemetryPath)
 }
 
 // writeTrace dumps the collected trace set as Chrome trace-event JSON
@@ -225,6 +247,32 @@ func writeTrace(ts *obs.TraceSet, path string, emit func(*experiments.Table)) er
 	}
 	emit(phaseTable(ts))
 	fmt.Printf("# trace: %d samples -> %s\n", ts.Len(), path)
+	return nil
+}
+
+// writeTelemetry dumps the collected telemetry set as deterministic
+// JSON. A no-op without -telemetry or when the selected experiment
+// recorded nothing.
+func writeTelemetry(ts *telemetry.Set, path string) error {
+	if ts == nil {
+		return nil
+	}
+	if ts.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "gridbench: -telemetry set but the selected experiment records no telemetry (only fig1 and table2 do)")
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ts.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("# telemetry: %d samples -> %s\n", ts.Len(), path)
 	return nil
 }
 

@@ -22,9 +22,15 @@
 //	wake       -session S
 //	shutdown   -session S
 //	usage      -session S
-//	query      -kind host|vm-future|vm|image-server|data-server
+//	query      -kind host|vm-future|vm|image-server|data-server|alert
 //	metrics
 //	spans      [-cat C]
+//	top        [-n FRAMES] [-every SECONDS]
+//	alerts
+//
+// top renders a live text dashboard of the served grid: one frame per
+// node/session table plus the firing alerts, streamed -n times with
+// -every virtual seconds between frames (one frame by default).
 package main
 
 import (
@@ -306,8 +312,97 @@ func run(args []string) error {
 		}
 		return nil
 
+	case "top":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		frames := fs.Int("n", 1, "frames to stream")
+		every := fs.Float64("every", 1, "virtual seconds between frames")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		if *frames <= 1 {
+			info, err := c.Top()
+			if err != nil {
+				return err
+			}
+			printTop(info)
+			return nil
+		}
+		frame := 0
+		return c.Watch(*frames, *every, func(info wire.TopInfo) error {
+			if frame > 0 {
+				fmt.Println(strings.Repeat("-", 64))
+			}
+			frame++
+			printTop(info)
+			return nil
+		})
+
+	case "alerts":
+		info, err := c.Alerts()
+		if err != nil {
+			return err
+		}
+		fmt.Println("rules:")
+		for _, r := range info.Rules {
+			fmt.Printf("  %-18s %s\n", r.Name, r.Expr)
+		}
+		if len(info.Firings) == 0 {
+			fmt.Println("firings: none")
+			return nil
+		}
+		fmt.Println("firings:")
+		for _, f := range info.Firings {
+			state := "resolved"
+			if f.ResolvedSec < 0 {
+				state = "ACTIVE"
+			}
+			fmt.Printf("  %10.1fs %-8s %-18s %-40s value=%g\n",
+				f.AtSec, state, f.Rule, f.Series, f.Value)
+		}
+		return nil
+
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func printTop(info wire.TopInfo) {
+	fmt.Printf("virtual time: %.1fs  (scrapes: %d)\n", info.VirtualSec, info.Scrapes)
+	fmt.Println("nodes:")
+	for _, n := range info.Nodes {
+		if n.Crashed {
+			fmt.Printf("  %-12s site=%-6s CRASHED\n", n.Name, n.Site)
+			continue
+		}
+		line := fmt.Sprintf("  %-12s site=%-6s slots=%d runnable=%-3d load=%.2f",
+			n.Name, n.Site, n.Slots, n.Runnable, n.Load)
+		if n.PredictedLoad > 0 {
+			line += fmt.Sprintf(" predicted=%.2f", n.PredictedLoad)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("sessions:")
+	for _, s := range info.Sessions {
+		line := fmt.Sprintf("  %-20s state=%-10s node=%-10s", s.Name, s.State, s.Node)
+		if s.Slowdown > 0 {
+			line += fmt.Sprintf(" slowdown=%.3f", s.Slowdown)
+		}
+		if s.VFSHitRate > 0 {
+			line += fmt.Sprintf(" vfs-hit=%.1f%%", s.VFSHitRate*100)
+		}
+		if s.VFSRetries > 0 {
+			line += fmt.Sprintf(" vfs-retries=%d", s.VFSRetries)
+		}
+		fmt.Println(line)
+	}
+	if len(info.Alerts) == 0 {
+		fmt.Println("alerts: none")
+		return
+	}
+	fmt.Println("alerts:")
+	for _, f := range info.Alerts {
+		fmt.Printf("  FIRING %-18s %-40s since=%.1fs value=%g\n",
+			f.Rule, f.Series, f.AtSec, f.Value)
 	}
 }
 

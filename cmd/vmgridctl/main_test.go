@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"vmgrid/internal/wire"
 )
@@ -122,5 +123,102 @@ func TestSplitList(t *testing.T) {
 	}
 	if splitList("") != nil {
 		t.Error("empty list not nil")
+	}
+}
+
+// TestCtlObservability: metrics, spans, top, and alerts round-trip over
+// a live TCP daemon with a real session driving data into them.
+func TestCtlObservability(t *testing.T) {
+	addr := startDaemon(t)
+	if err := ctl(t, addr, "session", "-user", "u", "-front", "front", "-image", "rh72"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "run", "-session", "sess-1-u", "-cpu", "5"); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"metrics"},
+		{"spans"},
+		{"spans", "-cat", "phase"},
+		{"top"},
+		{"alerts"},
+	} {
+		if err := ctl(t, addr, args...); err != nil {
+			t.Errorf("ctl %v: %v", args, err)
+		}
+	}
+}
+
+// TestCtlTopStreams: multi-frame top uses the watch op and renders every
+// frame; frames advance virtual time on an idle grid.
+func TestCtlTopStreams(t *testing.T) {
+	addr := startDaemon(t)
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	before, err := c.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "top", "-n", "3", "-every", "2"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.VirtualSec < before.VirtualSec+4 {
+		t.Fatalf("watch did not advance virtual time: %.1f -> %.1f",
+			before.VirtualSec, after.VirtualSec)
+	}
+	if len(after.Nodes) == 0 {
+		t.Fatal("top snapshot lost the nodes")
+	}
+}
+
+// TestCtlWatchDrain: closing the daemon mid-watch errors out the stream
+// instead of hanging the client.
+func TestCtlWatchDrain(t *testing.T) {
+	srv := wire.NewServer(1)
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	l := wire.NewLocal(srv)
+	if err := l.AddNode(wire.AddNodeParams{Name: "front", Site: "s", Roles: []string{"front-end"}}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := wire.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	frames := 0
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- c.Watch(1_000_000, 1, func(wire.TopInfo) error {
+			frames++
+			return nil
+		})
+	}()
+	// Let a few frames land, then drain the server under the stream.
+	for i := 0; i < 200 && frames == 0; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("watch survived server drain")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch hung through server drain")
+	}
+	if frames == 0 {
+		t.Fatal("no frames before drain")
 	}
 }

@@ -10,6 +10,11 @@
 // the paper reproduction: front end, two compute nodes and a data server
 // on one LAN, an image server across a WAN, a 2 GB RedHat 7.2 image
 // (warm snapshot included), and a 1 GB user dataset.
+//
+// The served grid is traced and telemetered from birth: the metrics,
+// spans, top, alerts, and watch wire ops always have data, and the
+// standard SLO rules (slowdown, stale-lease, vfs-retry-storm) are
+// armed. Drive the dashboard with `vmgridctl top` / `vmgridctl alerts`.
 package main
 
 import (

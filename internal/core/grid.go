@@ -24,8 +24,10 @@ import (
 	"vmgrid/internal/hw"
 	"vmgrid/internal/netsim"
 	"vmgrid/internal/obs"
+	"vmgrid/internal/retry"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
+	"vmgrid/internal/telemetry"
 	"vmgrid/internal/vfs"
 	"vmgrid/internal/vnet"
 )
@@ -41,8 +43,12 @@ type Grid struct {
 	nodes    map[string]*Node
 	sessions int
 	live     map[string]*Session
-	vfsRetry vfs.RetryPolicy
+	vfsRetry retry.Policy
 	tracer   *obs.Tracer
+
+	telemetry   *telemetry.Collector
+	monitor     *Monitor
+	supervisors []*Supervisor
 }
 
 // NewGrid creates an empty grid fabric seeded deterministically.
@@ -61,7 +67,7 @@ func NewGrid(seed uint64) *Grid {
 // SetVFSRetry applies a retry policy to every VFS client the grid builds
 // from now on (data mounts and on-demand image mounts), threading
 // fault tolerance through the file system layer.
-func (g *Grid) SetVFSRetry(p vfs.RetryPolicy) { g.vfsRetry = p }
+func (g *Grid) SetVFSRetry(p retry.Policy) { g.vfsRetry = p }
 
 // Kernel returns the simulation kernel.
 func (g *Grid) Kernel() *sim.Kernel { return g.k }

@@ -6,6 +6,7 @@ import (
 	"vmgrid/internal/gis"
 	"vmgrid/internal/rps"
 	"vmgrid/internal/sim"
+	"vmgrid/internal/telemetry"
 )
 
 // Monitor closes the paper's adaptation loop (§3.2, application
@@ -50,12 +51,19 @@ func (g *Grid) StartMonitor(interval sim.Duration) (*Monitor, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Tee every raw sensor reading into the telemetry store (no-op
+		// while telemetry is off — g.telemetry is nil-safe).
+		nodeName := name
+		sensor.Tee(func(at sim.Time, v float64) {
+			g.telemetry.Record("node.load_sample", v, telemetry.L("node", nodeName))
+		})
 		m.sensors[name] = sensor
 		m.models[name] = ar
 		sensor.Start()
 	}
 	m.running = true
 	m.tick()
+	g.monitor = m
 	return m, nil
 }
 

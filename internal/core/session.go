@@ -199,6 +199,14 @@ func (s *Session) ImageServer() string { return s.imageServer }
 // State returns the session's life-cycle state.
 func (s *Session) State() State { return s.state }
 
+// DataClient returns the session's user-data VFS client (nil before the
+// data session is attached) — a read-only telemetry source.
+func (s *Session) DataClient() *vfs.Client { return s.dataClient }
+
+// ImageClient returns the session's on-demand image VFS client (nil for
+// staged or locally installed images).
+func (s *Session) ImageClient() *vfs.Client { return s.imageClient }
+
 // Events returns the life-cycle timeline.
 func (s *Session) Events() []Event {
 	return append([]Event(nil), s.events...)

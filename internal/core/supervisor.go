@@ -114,6 +114,9 @@ type charge struct {
 	lossAccounted bool
 	recoveries    int
 	stopped       bool
+	// lastRenew is when the lease was last refreshed (-1 before the
+	// first renewal) — the telemetry pipeline derives lease.age from it.
+	lastRenew sim.Time
 }
 
 func (c *charge) ckptFiles(slot int) (mem, cow string) {
@@ -140,7 +143,9 @@ func NewSupervisor(g *Grid, cfg SupervisorConfig) (*Supervisor, error) {
 	if cfg.StableNode == "" || g.nodes[cfg.StableNode] == nil {
 		return nil, fmt.Errorf("%w: stable node %q", ErrUnknownNode, cfg.StableNode)
 	}
-	return &Supervisor{g: g, cfg: cfg, charges: make(map[string]*charge)}, nil
+	sup := &Supervisor{g: g, cfg: cfg, charges: make(map[string]*charge)}
+	g.supervisors = append(g.supervisors, sup)
+	return sup, nil
 }
 
 // Stats returns a snapshot of the supervisor's counters.
@@ -161,7 +166,7 @@ func (sup *Supervisor) Adopt(s *Session, done func(error)) error {
 	if _, dup := sup.charges[s.name]; dup {
 		return fmt.Errorf("core: session %q already supervised", s.name)
 	}
-	c := &charge{s: s, slot: -1}
+	c := &charge{s: s, slot: -1, lastRenew: -1}
 	sup.charges[s.name] = c
 	sup.renewLease(c)
 	sup.scheduleHeartbeat(c)
@@ -224,6 +229,7 @@ func (sup *Supervisor) renewLease(c *charge) {
 	_ = sup.g.info.Register(gis.KindLease, c.s.name, map[string]any{
 		gis.AttrHost: host,
 	}, sup.cfg.LeaseTTL)
+	c.lastRenew = sup.g.k.Now()
 }
 
 func (sup *Supervisor) scheduleHeartbeat(c *charge) {

@@ -10,6 +10,7 @@ import (
 	"vmgrid/internal/obs"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
+	"vmgrid/internal/telemetry"
 	"vmgrid/internal/trace"
 	"vmgrid/internal/vmm"
 )
@@ -50,6 +51,12 @@ type Fig1Config struct {
 	// lifecycle spans and the world-switch gauge), added in scenario
 	// order so the set is byte-identical at any worker count.
 	Trace *obs.TraceSet
+	// Telemetry, when non-nil, collects one telemetry collector per
+	// scenario: every test-task completion observes its slowdown as the
+	// task.slowdown series, scraped once per simulated second with the
+	// figure's >10% SLO armed as an alert rule. Added in scenario order
+	// like Trace; nil keeps the nil-collector fast path.
+	Telemetry *telemetry.Set
 }
 
 // DefaultFig1Config matches the paper's setup.
@@ -108,15 +115,16 @@ func Figure1(cfg Fig1Config) ([]Fig1Row, error) {
 	type scenarioOut struct {
 		row Fig1Row
 		tr  *obs.Tracer
+		col *telemetry.Collector
 	}
 	results, err := RunSamples(context.Background(), cfg.Seed, len(scenarios), cfg.Workers,
 		func(i int, seed uint64) (scenarioOut, error) {
 			sc := scenarios[i]
-			row, tr, err := fig1Scenario(cfg, baseline, seed, sc.load, sc.loadOn, sc.testOn)
+			row, tr, col, err := fig1Scenario(cfg, baseline, seed, sc.load, sc.loadOn, sc.testOn)
 			if err != nil {
 				return scenarioOut{}, fmt.Errorf("scenario %v/%v/%v: %w", sc.load, sc.loadOn, sc.testOn, err)
 			}
-			return scenarioOut{row: row, tr: tr}, nil
+			return scenarioOut{row: row, tr: tr, col: col}, nil
 		})
 	if err != nil {
 		return nil, err
@@ -126,6 +134,9 @@ func Figure1(cfg Fig1Config) ([]Fig1Row, error) {
 		rows = append(rows, r.row)
 		if cfg.Trace != nil {
 			cfg.Trace.Add("fig1/"+r.row.Scenario(), r.tr)
+		}
+		if cfg.Telemetry != nil {
+			cfg.Telemetry.Add("fig1/"+r.row.Scenario(), r.col)
 		}
 	}
 	return rows, nil
@@ -191,7 +202,7 @@ func fig1VM(k *sim.Kernel, h *hostos.Host, name string, tr *obs.Tracer, ready fu
 	})
 }
 
-func fig1Scenario(cfg Fig1Config, baseline float64, seed uint64, load trace.Class, loadOn, testOn Placement) (Fig1Row, *obs.Tracer, error) {
+func fig1Scenario(cfg Fig1Config, baseline float64, seed uint64, load trace.Class, loadOn, testOn Placement) (Fig1Row, *obs.Tracer, *telemetry.Collector, error) {
 	// seed is the runner-derived per-scenario seed; the background trace
 	// below deliberately does NOT use it — all four placements of one
 	// load class must replay the identical trace (paired design).
@@ -200,9 +211,23 @@ func fig1Scenario(cfg Fig1Config, baseline float64, seed uint64, load trace.Clas
 	if cfg.Trace != nil {
 		otr = obs.New(k)
 	}
+	var col *telemetry.Collector
+	if cfg.Telemetry != nil {
+		var err error
+		// Figure 1 has no Grid, so the scenario hosts a raw collector: the
+		// sample loop observes each task's slowdown, and the figure's ≤10%
+		// virtualization budget doubles as the SLO under test.
+		if col, err = telemetry.NewCollector(k, telemetry.Config{Trace: otr}); err != nil {
+			return Fig1Row{}, nil, nil, err
+		}
+		if err := col.AddRule("slowdown", "mean(task.slowdown, 30s) > 1.10 for 30s"); err != nil {
+			return Fig1Row{}, nil, nil, err
+		}
+		col.Start()
+	}
 	h, err := hostos.New(k, hw.ReferenceMachine("phys"))
 	if err != nil {
-		return Fig1Row{}, nil, err
+		return Fig1Row{}, nil, nil, err
 	}
 	// All four placements of one load class replay the same trace, as
 	// the paper does — placements are compared against each other, so
@@ -218,10 +243,15 @@ func fig1Scenario(cfg Fig1Config, baseline float64, seed uint64, load trace.Clas
 		var sample func()
 		sample = func() {
 			if stat.N() >= cfg.Samples {
+				// Measurement over: one closing scrape, then stop the
+				// self-tick so the scenario's event queue can drain.
+				col.Scrape()
+				col.Stop()
 				return
 			}
 			_, err := testOS.Run(guest.MicroTask(cfg.TaskSeconds), func(r guest.TaskResult) {
 				stat.Add(r.Elapsed().Seconds() / baseline)
+				col.Observe("task.slowdown", r.Elapsed().Seconds()/baseline)
 				sample()
 			})
 			if err != nil {
@@ -263,7 +293,7 @@ func fig1Scenario(cfg Fig1Config, baseline float64, seed uint64, load trace.Clas
 		testOS = guest.NewOS(guest.NewNativeCPU(h.Spawn("test")))
 		testOS.MarkBooted()
 		if err := applyLoad(nil); err != nil {
-			return row, nil, err
+			return row, nil, nil, err
 		}
 		startSampling()
 	case OnVM:
@@ -274,7 +304,7 @@ func fig1Scenario(cfg Fig1Config, baseline float64, seed uint64, load trace.Clas
 			}
 			startSampling()
 		}); err != nil {
-			return row, nil, err
+			return row, nil, nil, err
 		}
 	}
 
@@ -282,10 +312,10 @@ func fig1Scenario(cfg Fig1Config, baseline float64, seed uint64, load trace.Clas
 	horizon := sim.DurationOf(float64(cfg.Samples)*cfg.TaskSeconds*8 + 300)
 	_ = k.RunUntil(sim.Time(horizon))
 	if stat.N() < cfg.Samples {
-		return row, nil, fmt.Errorf("experiments: only %d/%d samples completed", stat.N(), cfg.Samples)
+		return row, nil, nil, fmt.Errorf("experiments: only %d/%d samples completed", stat.N(), cfg.Samples)
 	}
 	row.Mean, row.Std, row.Min, row.Max, row.N = stat.Mean(), stat.Stddev(), stat.Min(), stat.Max(), stat.N()
-	return row, otr, nil
+	return row, otr, col, nil
 }
 
 // Figure1Table renders the rows like the paper's figure (one bar each).

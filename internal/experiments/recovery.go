@@ -10,6 +10,7 @@ import (
 	"vmgrid/internal/hw"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
+	"vmgrid/internal/telemetry"
 	"vmgrid/internal/vmm"
 )
 
@@ -49,6 +50,14 @@ type RecoveryRow struct {
 	// CkptCostSec is mean time per run the session spent suspended or
 	// staging for checkpoints — the fault-free price of protection.
 	CkptCostSec float64
+	// AlertFirings is the mean number of stale-lease telemetry alerts
+	// fired per run by task completion. The alert engine watches the
+	// same lease ages the supervisor's failure detector does (at a
+	// tighter 2×heartbeat threshold versus the 3×heartbeat TTL), so
+	// every detected crash should trip it exactly once: firings track
+	// crashes, cross-checking the two detection paths against each
+	// other.
+	AlertFirings float64
 }
 
 // recoveryArm is one simulated run of the 1500 s task at one checkpoint
@@ -60,6 +69,7 @@ type recoveryArm struct {
 	CkptCostSec   float64
 	Crashes       int
 	Recoveries    int
+	LeaseAlerts   int
 }
 
 // recoveryTaskSec is the supervised workload: long enough for several
@@ -106,6 +116,7 @@ func AblationRecovery(seed uint64, samples, workers int) ([]RecoveryRow, error) 
 				sum.CkptCostSec += a.CkptCostSec
 				sum.Crashes += a.Crashes
 				sum.Recoveries += a.Recoveries
+				sum.LeaseAlerts += a.LeaseAlerts
 			}
 			recoveries := float64(sum.Recoveries)
 			if recoveries == 0 {
@@ -120,6 +131,7 @@ func AblationRecovery(seed uint64, samples, workers int) ([]RecoveryRow, error) 
 				MTTRSec:       (sum.LostWorkSec + sum.RepairSec) / recoveries,
 				Availability:  1 - sum.RepairSec/sum.CompletionSec,
 				CkptCostSec:   sum.CkptCostSec / float64(samples),
+				AlertFirings:  float64(sum.LeaseAlerts) / float64(samples),
 			})
 		}
 	}
@@ -134,6 +146,20 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 	var arm recoveryArm
 	g := core.NewGrid(crashSeed)
 	k := g.Kernel()
+	// The telemetry pipeline runs alongside the supervisor with the
+	// standard SLO rules: its stale-lease alert (2×heartbeat) is an
+	// independent shadow of the lease-expiry failure detector
+	// (3×heartbeat TTL), and the firing count per run is reported so the
+	// two detection paths cross-check each other. Scraping is read-only,
+	// so the measured recovery numbers are unchanged by it.
+	col, err := g.EnableTelemetry(telemetry.Config{})
+	if err != nil {
+		return arm, err
+	}
+	if err := g.DefaultAlertRules(0); err != nil {
+		return arm, err
+	}
+	col.Start()
 	for _, cfg := range []core.NodeConfig{
 		{Name: "front", Site: "a", Role: core.RoleFrontEnd},
 		{Name: "c1", Site: "a", Role: core.RoleCompute, Slots: 1, DHCPPrefix: "10.1.0."},
@@ -198,12 +224,18 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 
 	var res guest.TaskResult
 	var statsAt core.SupervisorStats
+	leaseAlertsAt := 0
 	finished := false
 	if err := sup.Run(sess, guest.MicroTask(recoveryTaskSec), func(r guest.TaskResult) {
 		res = r
 		// Snapshot at completion: crashes striking after the task is done
 		// must not leak into the cell's statistics.
 		statsAt = sup.Stats()
+		for _, f := range col.Firings() {
+			if f.Rule == "stale-lease" {
+				leaseAlertsAt++
+			}
+		}
 		finished = true
 	}); err != nil {
 		return arm, err
@@ -229,6 +261,7 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 
 	step(24*sim.Hour, func() bool { return finished })
 	sup.Stop()
+	col.Stop()
 	if !finished {
 		return arm, fmt.Errorf("experiments: recovery run never finished (state %q)", sess.State())
 	}
@@ -242,6 +275,7 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 		CkptCostSec:   statsAt.CheckpointSec,
 		Crashes:       statsAt.Crashes,
 		Recoveries:    statsAt.Recoveries,
+		LeaseAlerts:   leaseAlertsAt,
 	}, nil
 }
 
@@ -250,9 +284,10 @@ func RecoveryTable(rows []RecoveryRow) *Table {
 	t := &Table{
 		Title: "Ablation G: checkpoint interval vs failure rate (self-healing sessions)",
 		Note: "1500 s task under Poisson node crashes (300 s outages); " +
-			"MTTR = detection + restore + replay per recovery",
+			"MTTR = detection + restore + replay per recovery; " +
+			"alerts = stale-lease telemetry firings per run (tracks crashes)",
 		Header: []string{"MTBF (s)", "ckpt every (s)", "completion (s)", "crashes",
-			"lost/rec (s)", "MTTR (s)", "avail", "ckpt cost (s)"},
+			"lost/rec (s)", "MTTR (s)", "avail", "ckpt cost (s)", "alerts"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
@@ -264,6 +299,7 @@ func RecoveryTable(rows []RecoveryRow) *Table {
 			f1(r.MTTRSec),
 			pct(r.Availability),
 			f1(r.CkptCostSec),
+			f1(r.AlertFirings),
 		})
 	}
 	return t

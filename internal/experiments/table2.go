@@ -10,6 +10,7 @@ import (
 	"vmgrid/internal/obs"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
+	"vmgrid/internal/telemetry"
 	"vmgrid/internal/trace"
 	"vmgrid/internal/vmm"
 )
@@ -25,6 +26,11 @@ type Table2Config struct {
 	// order, so the set is byte-identical at any worker count). Leaving
 	// it nil keeps the samples on the nil-sink fast path.
 	Trace *obs.TraceSet
+	// Telemetry, when non-nil, collects one telemetry collector per
+	// sample (scraped once per simulated second from submission to
+	// ready, standard SLO rules armed), added in sample order like
+	// Trace. Nil keeps the samples on the nil-collector fast path.
+	Telemetry *telemetry.Set
 }
 
 // DefaultTable2Config matches the paper.
@@ -69,27 +75,34 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 	// the runner-derived seed, so cells fill in parallel and the rows are
 	// identical at any worker count.
 	type sampleOut struct {
-		v  float64
-		tr *obs.Tracer
+		v   float64
+		tr  *obs.Tracer
+		col *telemetry.Collector
 	}
 	results, err := RunSamples(context.Background(), cfg.Seed, len(cells)*cfg.Samples, cfg.Workers,
 		func(i int, seed uint64) (sampleOut, error) {
 			c := cells[i/cfg.Samples]
-			v, tr, err := table2Sample(seed, c.mode, c.disk, c.access, cfg.Trace != nil)
+			v, tr, col, err := table2Sample(seed, c.mode, c.disk, c.access, cfg.Trace != nil, cfg.Telemetry != nil)
 			if err != nil {
 				return sampleOut{}, fmt.Errorf("table2 %v/%s sample %d: %w", c.mode, c.label, i%cfg.Samples, err)
 			}
-			return sampleOut{v: v, tr: tr}, nil
+			return sampleOut{v: v, tr: tr, col: col}, nil
 		})
 	if err != nil {
 		return nil, err
 	}
+	// RunSamples returns in sample-index order regardless of worker
+	// interleaving, so these loops fix the trace and telemetry layout.
 	if cfg.Trace != nil {
-		// RunSamples returns in sample-index order regardless of worker
-		// interleaving, so this loop fixes the trace layout.
 		for i, r := range results {
 			c := cells[i/cfg.Samples]
 			cfg.Trace.Add(fmt.Sprintf("table2/VM-%s/%s/%d", c.mode, c.label, i%cfg.Samples), r.tr)
+		}
+	}
+	if cfg.Telemetry != nil {
+		for i, r := range results {
+			c := cells[i/cfg.Samples]
+			cfg.Telemetry.Add(fmt.Sprintf("table2/VM-%s/%s/%d", c.mode, c.label, i%cfg.Samples), r.col)
 		}
 	}
 
@@ -109,30 +122,45 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 
 // table2Sample measures one globusrun-to-ready startup on a fresh LAN
 // testbed with background host noise. With traced set it also returns
-// the sample's tracer (nil otherwise — the free disabled path).
-func table2Sample(seed uint64, mode vmm.StartMode, disk core.DiskPolicy, access core.ImageAccess, traced bool) (float64, *obs.Tracer, error) {
+// the sample's tracer, and with telemetered set its telemetry collector
+// (nil otherwise — the free disabled paths).
+func table2Sample(seed uint64, mode vmm.StartMode, disk core.DiskPolicy, access core.ImageAccess, traced, telemetered bool) (float64, *obs.Tracer, *telemetry.Collector, error) {
 	g := core.NewGrid(seed)
 	var tr *obs.Tracer
 	if traced {
 		tr = obs.New(g.Kernel())
 		g.SetTracer(tr)
 	}
+	var col *telemetry.Collector
+	if telemetered {
+		var err error
+		if col, err = g.EnableTelemetry(telemetry.Config{}); err != nil {
+			return 0, nil, nil, err
+		}
+		if err := g.DefaultAlertRules(0); err != nil {
+			return 0, nil, nil, err
+		}
+		// Self-tick once per simulated second; the session-ready callback
+		// below takes a final scrape and stops the clock so the bounded
+		// RunUntil still drains once the startup is over.
+		col.Start()
+	}
 	if _, err := g.AddNode(core.NodeConfig{Name: "front", Site: "lan", Role: core.RoleFrontEnd}); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	compute, err := g.AddNode(core.NodeConfig{
 		Name: "compute", Site: "lan", Role: core.RoleCompute,
 		Slots: 1, DHCPPrefix: "10.0.0.",
 	})
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	if err := g.Net().BuildLAN("front", "compute"); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	img := storage.ImageInfo{Name: "rh72", OS: "redhat-7.2", DiskBytes: 2 * hw.GB, MemBytes: 128 * hw.MB}
 	if err := compute.InstallImage(img); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 
 	// Background noise: the light desktop activity of a real host.
@@ -149,18 +177,21 @@ func table2Sample(seed uint64, mode vmm.StartMode, disk core.DiskPolicy, access 
 		Mode: mode, Disk: disk, Access: access,
 	}, func(s *core.Session, err error) {
 		ready, sessErr = s, err
+		// Close out the telemetry window at the measurement boundary.
+		col.Scrape()
+		col.Stop()
 	})
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	_ = g.Kernel().RunUntil(sim.Time(2 * sim.Hour))
 	if sessErr != nil {
-		return 0, nil, sessErr
+		return 0, nil, nil, sessErr
 	}
 	if ready == nil || ready.EventAt("ready") < 0 {
-		return 0, nil, fmt.Errorf("experiments: session never ready")
+		return 0, nil, nil, fmt.Errorf("experiments: session never ready")
 	}
-	return ready.EventAt("ready").Sub(ready.EventAt("submitted")).Seconds(), tr, nil
+	return ready.EventAt("ready").Sub(ready.EventAt("submitted")).Seconds(), tr, col, nil
 }
 
 // Table2Table renders rows like the paper's Table 2.

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vmgrid/internal/sim"
+	"vmgrid/internal/telemetry"
+)
+
+// TestTable2TelemetryDeterministicAcrossWorkers is the export's
+// contract: the -telemetry JSON, like the tables, is a pure function of
+// the seed — running the same samples on 1 worker and on 8 must produce
+// byte-identical bytes.
+func TestTable2TelemetryDeterministicAcrossWorkers(t *testing.T) {
+	export := func(workers int) string {
+		set := telemetry.NewSet()
+		cfg := Table2Config{Seed: 7, Samples: 1, Workers: workers, Telemetry: set}
+		if _, err := Table2(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if set.Len() != 6 {
+			t.Fatalf("telemetry set has %d entries, want 6 (one per cell)", set.Len())
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	one := export(1)
+	eight := export(8)
+	if one != eight {
+		t.Fatalf("telemetry export differs between 1 and 8 workers:\n1: %d bytes\n8: %d bytes", len(one), len(eight))
+	}
+	// The scrapes really saw the fabric: node gauges for both nodes and
+	// the cell labels must be present.
+	for _, want := range []string{
+		`"label":"table2/VM-reboot/Persistent/0"`,
+		`"label":"table2/VM-restore/Non-persistent LoopbackNFS/0"`,
+		"node.load{node=compute}",
+		"node.load{node=front}",
+	} {
+		if !strings.Contains(one, want) {
+			t.Errorf("telemetry export missing %q", want)
+		}
+	}
+}
+
+// TestFig1TelemetryDeterministicAcrossWorkers does the same for the
+// microbenchmark's scenario collectors, which record the per-task
+// slowdown series rather than grid scrapes.
+func TestFig1TelemetryDeterministicAcrossWorkers(t *testing.T) {
+	export := func(workers int) string {
+		set := telemetry.NewSet()
+		cfg := Fig1Config{Seed: 3, Samples: 20, TaskSeconds: 0.5, Workers: workers, Telemetry: set}
+		if _, err := Figure1(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if set.Len() != 12 {
+			t.Fatalf("telemetry set has %d entries, want 12 (one per scenario)", set.Len())
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	one := export(1)
+	eight := export(8)
+	if one != eight {
+		t.Fatalf("fig1 telemetry export differs between 1 and 8 workers:\n1: %d bytes\n8: %d bytes", len(one), len(eight))
+	}
+	if !strings.Contains(one, `"name":"task.slowdown"`) {
+		t.Error("fig1 telemetry export missing the task.slowdown series")
+	}
+}
+
+// TestRecoveryLeaseAlertsTrackCrashes cross-checks the telemetry
+// pipeline's stale-lease alert against the supervisor's lease-expiry
+// failure detector: the alert threshold (2×heartbeat) is tighter than
+// the detector's TTL (3×heartbeat), so every crash the supervisor
+// recovers from must first have tripped the alert — and one crash
+// yields exactly one firing (the alert holds until the lease renews
+// after failover), so firings never exceed crashes.
+func TestRecoveryLeaseAlertsTrackCrashes(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		arm, err := recoveryRun(seed, 10*sim.Minute, 60*sim.Second)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if arm.Crashes == 0 {
+			if arm.LeaseAlerts != 0 {
+				t.Errorf("seed %d: %d stale-lease alerts with no crashes", seed, arm.LeaseAlerts)
+			}
+			continue
+		}
+		if arm.LeaseAlerts == 0 {
+			t.Errorf("seed %d: %d crashes but no stale-lease alert fired", seed, arm.Crashes)
+		}
+		if arm.LeaseAlerts > arm.Crashes {
+			t.Errorf("seed %d: %d stale-lease alerts exceed %d crashes", seed, arm.LeaseAlerts, arm.Crashes)
+		}
+		return // one crashing schedule is enough
+	}
+	t.Fatal("no seed in 1..4 produced a crash; fault injection inert")
+}

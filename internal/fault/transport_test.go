@@ -6,6 +6,7 @@ import (
 	"vmgrid/internal/hostos"
 	"vmgrid/internal/hw"
 	"vmgrid/internal/netsim"
+	"vmgrid/internal/retry"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 	"vmgrid/internal/vfs"
@@ -36,7 +37,7 @@ func flakyWorld(t *testing.T, seed uint64) (*sim.Kernel, *vfs.Client, *FlakyTran
 	}
 	flaky := NewFlakyTransport(k, inner, seed)
 	cfg := vfs.LANConfig()
-	cfg.Retry = vfs.RetryPolicy{
+	cfg.Retry = retry.Policy{
 		MaxAttempts: 6, Timeout: sim.Second, Backoff: 20 * sim.Millisecond,
 	}
 	client, err := vfs.NewClient(k, flaky, cfg)

@@ -29,6 +29,11 @@ const (
 	// of the registry once the lease expires — soft state as the failure
 	// detector.
 	KindLease Kind = "lease"
+	// KindAlert mirrors telemetry alert firings into the soft-state
+	// registry, so middleware can discover SLO violations the same way
+	// it discovers hosts and VMs. Alert entries are registered without a
+	// TTL and deregistered when the alert resolves.
+	KindAlert Kind = "alert"
 )
 
 // Entry is one registered record. Attrs values are strings, int64s, or

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"vmgrid/internal/retry"
 	"vmgrid/internal/sim"
 )
 
@@ -42,7 +43,7 @@ func TestSubmitRetrySucceedsAfterHeal(t *testing.T) {
 	done := false
 	err := g.client.SubmitRetry("compute", Job{
 		Name: "x", User: "u", Run: func(d func(error)) { ran = true; d(nil) },
-	}, RetryPolicy{MaxAttempts: 6, Backoff: sim.Second}, func(err error) {
+	}, retry.Policy{MaxAttempts: 6, Backoff: sim.Second}, func(err error) {
 		got = err
 		done = true
 	})
@@ -70,7 +71,7 @@ func TestSubmitRetryExhaustionKeepsUnavailable(t *testing.T) {
 	done := false
 	err := g.client.SubmitRetry("compute", Job{
 		Name: "x", User: "u", Run: func(d func(error)) { d(nil) },
-	}, RetryPolicy{MaxAttempts: 3, Backoff: 100 * sim.Millisecond}, func(err error) {
+	}, retry.Policy{MaxAttempts: 3, Backoff: 100 * sim.Millisecond}, func(err error) {
 		got = err
 		done = true
 	})
@@ -97,7 +98,7 @@ func TestSubmitRetryDoesNotReplayJobFailures(t *testing.T) {
 			attempts++
 			d(jobErr)
 		},
-	}, RetryPolicy{MaxAttempts: 5, Backoff: 100 * sim.Millisecond}, func(err error) {
+	}, retry.Policy{MaxAttempts: 5, Backoff: 100 * sim.Millisecond}, func(err error) {
 		got = err
 		done = true
 	})

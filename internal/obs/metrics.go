@@ -125,6 +125,11 @@ func (h *Histogram) Observe(d sim.Duration) {
 	if h == nil {
 		return
 	}
+	// Clamp negatives to zero so a clock-skewed or zero-duration span
+	// lands in the first bucket instead of corrupting sum/mean.
+	if d < 0 {
+		d = 0
+	}
 	h.buckets[histBucket(d)]++
 	h.count++
 	h.sum += d
@@ -133,7 +138,9 @@ func (h *Histogram) Observe(d sim.Duration) {
 	}
 }
 
-// histBucket maps a duration to its decade bucket index.
+// histBucket maps a duration to its decade bucket index. Bucket 0
+// catches everything below the first decade bound (10 µs), including
+// zero-duration observations.
 func histBucket(d sim.Duration) int {
 	bound := sim.Duration(10) // 10 µs
 	for i := 0; i < histBuckets-1; i++ {

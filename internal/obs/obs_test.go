@@ -220,3 +220,46 @@ func TestHistBucketBoundaries(t *testing.T) {
 		}
 	}
 }
+
+// Regression: zero-duration spans and sub-decade values must land in
+// bucket 0 and keep count/sum consistent — they used to be able to skew
+// the mean when negative durations slipped through.
+func TestHistogramEdgeObservations(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("edge")
+	h.Observe(0)                   // zero-duration span
+	h.Observe(sim.Duration(1))     // below the first decade bound
+	h.Observe(-sim.Second)         // negative: clamped to zero, not dropped
+	h.Observe(5 * sim.Microsecond) // still bucket 0
+
+	if h.buckets[0] != 4 {
+		t.Fatalf("bucket 0 = %d, want 4 (all edge values)", h.buckets[0])
+	}
+	s := reg.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", s.Histograms)
+	}
+	hp := s.Histograms[0]
+	if hp.Count != 4 {
+		t.Fatalf("count = %d, want 4", hp.Count)
+	}
+	wantSum := (sim.Duration(1) + 5*sim.Microsecond).Seconds()
+	if hp.SumSec != wantSum {
+		t.Fatalf("sum = %g, want %g (negative must clamp to 0)", hp.SumSec, wantSum)
+	}
+	if hp.MeanSec < 0 {
+		t.Fatalf("mean = %g, want >= 0", hp.MeanSec)
+	}
+	if hp.MaxSec != (5 * sim.Microsecond).Seconds() {
+		t.Fatalf("max = %g", hp.MaxSec)
+	}
+}
+
+func TestHistBucketZeroAndNegative(t *testing.T) {
+	if got := histBucket(0); got != 0 {
+		t.Errorf("histBucket(0) = %d, want 0", got)
+	}
+	if got := histBucket(sim.Duration(9)); got != 0 {
+		t.Errorf("histBucket(9us) = %d, want 0", got)
+	}
+}

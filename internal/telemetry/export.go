@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Set collects the telemetry of many experiment samples, one labeled
+// collector per sample, for a single deterministic JSON export
+// (gridbench -telemetry). Mirrors obs.TraceSet: entries are added in
+// sample-index order by the experiment driver, so the export is
+// byte-identical at any -parallel worker count.
+type Set struct {
+	entries []setEntry
+}
+
+type setEntry struct {
+	label string
+	c     *Collector
+}
+
+// NewSet creates an empty telemetry set.
+func NewSet() *Set { return &Set{} }
+
+// Add appends one sample's collector under a label. Nil collectors are
+// skipped.
+func (ts *Set) Add(label string, c *Collector) {
+	if ts == nil || c == nil {
+		return
+	}
+	ts.entries = append(ts.entries, setEntry{label: label, c: c})
+}
+
+// Len returns the number of collected entries.
+func (ts *Set) Len() int {
+	if ts == nil {
+		return 0
+	}
+	return len(ts.entries)
+}
+
+// WriteJSON emits the set as deterministic JSON:
+//
+//	{"telemetry":[
+//	  {"label":"...",
+//	   "series":[{"key":"...","name":"...","points":[[tUs,v],...]},...],
+//	   "alerts":[{"rule":"...","series":"...","atUs":N,"value":V,"resolvedUs":N},...]},
+//	  ...]}
+//
+// Series appear in key order, points oldest-first, alerts in firing
+// order; floats render via strconv.FormatFloat(v, 'g', -1, 64). The
+// bytes are a pure function of the recorded data.
+func (ts *Set) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"telemetry":[`)
+	for i, e := range ts.entries {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		if err := writeEntry(bw, e); err != nil {
+			return err
+		}
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+func writeEntry(bw *bufio.Writer, e setEntry) error {
+	fmt.Fprintf(bw, `{"label":%s,"series":[`, strconv.Quote(e.label))
+	db := e.c.DB()
+	for i, key := range db.Keys() {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		s := db.Lookup(key)
+		fmt.Fprintf(bw, `{"key":%s,"name":%s,"points":[`, strconv.Quote(key), strconv.Quote(s.Name()))
+		for j, p := range s.Points() {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteByte('[')
+			bw.WriteString(strconv.FormatInt(int64(p.At), 10))
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatFloat(p.V, 'g', -1, 64))
+			bw.WriteByte(']')
+		}
+		bw.WriteString("]}")
+	}
+	bw.WriteString(`],"alerts":[`)
+	for i, f := range e.c.Firings() {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, `{"rule":%s,"series":%s,"atUs":%d,"value":%s,"resolvedUs":%d}`,
+			strconv.Quote(f.Rule), strconv.Quote(f.Series), int64(f.At),
+			strconv.FormatFloat(f.Value, 'g', -1, 64), int64(f.ResolvedAt))
+	}
+	bw.WriteString("]}")
+	return nil
+}

@@ -1,0 +1,282 @@
+// Package telemetry is the grid-wide monitoring pipeline: a bounded
+// in-memory time-series store fed by periodic scrapes of the fabric
+// (obs metrics registries, node and session gauges, supervisor lease
+// ages, rps load predictions), windowed aggregation over the stored
+// history, and a declarative threshold/for-duration alert engine whose
+// firings are ordinary simulated-time events.
+//
+// The package generalizes rps.Series — a plain float64 ring buffer — to
+// timestamped, labeled series: each Series is still a bounded ring, but
+// every sample carries its sim.Time and the series is keyed by a name
+// plus a sorted label set, Prometheus-style ("node.load{node=c1}").
+//
+// Like obs, telemetry inherits the two design rules of the simulation:
+//
+//   - Determinism. Samples are stamped with sim.Time; snapshot, export,
+//     and rule-evaluation order are pure functions of the recorded data
+//     (series in key order, rules in registration order). A telemetry
+//     set collected under the parallel experiment runner is therefore
+//     byte-identical at any -parallel worker count.
+//
+//   - Nil fast path. A nil *Collector is the disabled state: every
+//     method is a nil-receiver no-op, so instrumented code pays one
+//     pointer test when telemetry is off.
+//
+// telemetry depends only on internal/sim, internal/obs, and the
+// standard library.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vmgrid/internal/sim"
+)
+
+// Point is one timestamped sample.
+type Point struct {
+	At sim.Time
+	V  float64
+}
+
+// Label is one key=value dimension of a series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for building a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// canonicalKey renders name plus sorted labels as the series identity,
+// e.g. `node.load{node=c1}`. Series with no labels key as the bare name.
+func canonicalKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Series is a bounded ring buffer of timestamped samples under one
+// (name, labels) identity — rps.Series with time and dimensions.
+type Series struct {
+	name   string
+	labels []Label // sorted by key
+	key    string
+
+	data  []Point
+	start int
+	n     int
+}
+
+// Name returns the series name (without labels).
+func (s *Series) Name() string { return s.name }
+
+// Labels returns the sorted label set (shared; do not mutate).
+func (s *Series) Labels() []Label { return s.labels }
+
+// Key returns the canonical identity, name{k=v,...}.
+func (s *Series) Key() string { return s.key }
+
+// Add appends a sample, evicting the oldest when the ring is full.
+func (s *Series) Add(at sim.Time, v float64) {
+	if s.n < len(s.data) {
+		s.data[(s.start+s.n)%len(s.data)] = Point{At: at, V: v}
+		s.n++
+		return
+	}
+	s.data[s.start] = Point{At: at, V: v}
+	s.start = (s.start + 1) % len(s.data)
+}
+
+// Len returns the number of stored samples.
+func (s *Series) Len() int { return s.n }
+
+// Last returns the most recent sample (zero Point if empty).
+func (s *Series) Last() Point {
+	if s.n == 0 {
+		return Point{}
+	}
+	return s.data[(s.start+s.n-1)%len(s.data)]
+}
+
+// Points returns the samples oldest-first (a copy).
+func (s *Series) Points() []Point {
+	out := make([]Point, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.data[(s.start+i)%len(s.data)]
+	}
+	return out
+}
+
+// Agg summarizes the samples of one window.
+type Agg struct {
+	Count int
+	Min   float64
+	Max   float64
+	Mean  float64
+	Last  float64
+	// P99 is the nearest-rank 99th percentile of the window.
+	P99 float64
+}
+
+// Window aggregates the samples with At >= since (min/max/mean/p99 over
+// the sliding window, plus the latest value). An empty window returns
+// the zero Agg.
+func (s *Series) Window(since sim.Time) Agg {
+	var vals []float64
+	var a Agg
+	for i := 0; i < s.n; i++ {
+		p := s.data[(s.start+i)%len(s.data)]
+		if p.At < since {
+			continue
+		}
+		vals = append(vals, p.V)
+		if a.Count == 0 || p.V < a.Min {
+			a.Min = p.V
+		}
+		if a.Count == 0 || p.V > a.Max {
+			a.Max = p.V
+		}
+		a.Mean += p.V
+		a.Last = p.V
+		a.Count++
+	}
+	if a.Count == 0 {
+		return a
+	}
+	a.Mean /= float64(a.Count)
+	sort.Float64s(vals)
+	rank := (99*len(vals) + 99) / 100 // nearest-rank ceil(0.99·n)
+	if rank < 1 {
+		rank = 1
+	}
+	a.P99 = vals[rank-1]
+	return a
+}
+
+// Rate returns the per-second increase of the series over the window —
+// (last-first)/(t_last-t_first) across samples with At >= since. Windows
+// with fewer than two samples (or no time spread) rate as 0. Meaningful
+// for cumulative counters.
+func (s *Series) Rate(since sim.Time) float64 {
+	var first, last Point
+	count := 0
+	for i := 0; i < s.n; i++ {
+		p := s.data[(s.start+i)%len(s.data)]
+		if p.At < since {
+			continue
+		}
+		if count == 0 {
+			first = p
+		}
+		last = p
+		count++
+	}
+	if count < 2 || last.At <= first.At {
+		return 0
+	}
+	return (last.V - first.V) / last.At.Sub(first.At).Seconds()
+}
+
+// DB is the bounded time-series store: series are created on first
+// write and hold at most the configured history per series.
+type DB struct {
+	history int
+	series  map[string]*Series
+}
+
+// NewDB creates a store keeping history samples per series.
+func NewDB(history int) (*DB, error) {
+	if history <= 0 {
+		return nil, fmt.Errorf("telemetry: history %d", history)
+	}
+	return &DB{history: history, series: make(map[string]*Series)}, nil
+}
+
+// upsert returns (creating if needed) the series for (name, labels).
+// labels must already be sorted by key; the slice is retained.
+func (db *DB) upsert(name string, labels []Label) *Series {
+	key := canonicalKey(name, labels)
+	s := db.series[key]
+	if s == nil {
+		s = &Series{name: name, labels: labels, key: key, data: make([]Point, db.history)}
+		db.series[key] = s
+	}
+	return s
+}
+
+// Record appends a sample to the series for (name, labels), creating it
+// on first use. Labels are sorted by key before keying.
+func (db *DB) Record(at sim.Time, name string, labels []Label, v float64) {
+	sorted := labels
+	if !sort.SliceIsSorted(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key }) {
+		sorted = append([]Label(nil), labels...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	}
+	db.upsert(name, sorted).Add(at, v)
+}
+
+// Lookup returns the series with the exact canonical key, or nil.
+func (db *DB) Lookup(key string) *Series { return db.series[key] }
+
+// Len returns the number of distinct series.
+func (db *DB) Len() int { return len(db.series) }
+
+// Keys returns every canonical series key, sorted — the deterministic
+// iteration order for snapshots and export.
+func (db *DB) Keys() []string {
+	keys := make([]string, 0, len(db.series))
+	for k := range db.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Select returns the series matching name and carrying every label of
+// sub (a subset match; empty sub matches all), in key order.
+func (db *DB) Select(name string, sub []Label) []*Series {
+	var out []*Series
+	for _, k := range db.Keys() {
+		s := db.series[k]
+		if s.name != name {
+			continue
+		}
+		if !labelsSubset(sub, s.labels) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// labelsSubset reports whether every label of sub appears in set.
+func labelsSubset(sub, set []Label) bool {
+	for _, want := range sub {
+		found := false
+		for _, have := range set {
+			if have.Key == want.Key && have.Value == want.Value {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

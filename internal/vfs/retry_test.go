@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"vmgrid/internal/retry"
 	"vmgrid/internal/sim"
 )
 
@@ -39,7 +40,7 @@ func (t *scriptedTransport) Write(file string, off, size int64, done func(error)
 	t.issue(done)
 }
 
-func retryClient(t *testing.T, k *sim.Kernel, tr Transport, p RetryPolicy) *Client {
+func retryClient(t *testing.T, k *sim.Kernel, tr Transport, p retry.Policy) *Client {
 	t.Helper()
 	cfg := Config{Rsize: 32 << 10, Prefetch: 32 << 10, CacheBytes: 1 << 20, Retry: p}
 	c, err := NewClient(k, tr, cfg)
@@ -52,7 +53,7 @@ func retryClient(t *testing.T, k *sim.Kernel, tr Transport, p RetryPolicy) *Clie
 func TestRetryRecoversFromLostRPCs(t *testing.T) {
 	k := sim.NewKernel(1)
 	tr := &scriptedTransport{k: k, drops: 2, latency: sim.Millisecond}
-	c := retryClient(t, k, tr, RetryPolicy{
+	c := retryClient(t, k, tr, retry.Policy{
 		MaxAttempts: 4, Timeout: 100 * sim.Millisecond, Backoff: 10 * sim.Millisecond,
 	})
 	completed := false
@@ -83,7 +84,7 @@ func TestRetryRecoversFromLostRPCs(t *testing.T) {
 func TestRetryExhaustionReportsUnavailable(t *testing.T) {
 	k := sim.NewKernel(1)
 	tr := &scriptedTransport{k: k, drops: 1 << 30}
-	c := retryClient(t, k, tr, RetryPolicy{
+	c := retryClient(t, k, tr, retry.Policy{
 		MaxAttempts: 3, Timeout: 50 * sim.Millisecond, Backoff: 10 * sim.Millisecond,
 	})
 	completed := false
@@ -110,7 +111,7 @@ func TestRetryExhaustionReportsUnavailable(t *testing.T) {
 func TestRetryDoesNotReissueNAKs(t *testing.T) {
 	k := sim.NewKernel(1)
 	tr := &scriptedTransport{k: k, naks: 1, latency: sim.Millisecond}
-	c := retryClient(t, k, tr, RetryPolicy{
+	c := retryClient(t, k, tr, retry.Policy{
 		MaxAttempts: 4, Timeout: 100 * sim.Millisecond, Backoff: 10 * sim.Millisecond,
 	})
 	completed := false
@@ -133,7 +134,7 @@ func TestRetryDoesNotReissueNAKs(t *testing.T) {
 func TestZeroRetryPolicyKeepsHistoricalBehavior(t *testing.T) {
 	k := sim.NewKernel(1)
 	tr := &scriptedTransport{k: k, drops: 1}
-	c := retryClient(t, k, tr, RetryPolicy{})
+	c := retryClient(t, k, tr, retry.Policy{})
 	completed := false
 	c.Open("data", 1<<20).Read(0, 1024, func() { completed = true })
 	_ = k.RunUntil(k.Now().Add(sim.Hour))
@@ -147,7 +148,7 @@ func TestZeroRetryPolicyKeepsHistoricalBehavior(t *testing.T) {
 
 func TestRetryPolicyValidation(t *testing.T) {
 	k := sim.NewKernel(1)
-	bad := Config{Rsize: 16, Prefetch: 16, Retry: RetryPolicy{Timeout: -1}}
+	bad := Config{Rsize: 16, Prefetch: 16, Retry: retry.Policy{Timeout: -1}}
 	if _, err := NewClient(k, nil, bad); err == nil {
 		t.Error("negative retry timeout accepted")
 	}
@@ -156,7 +157,7 @@ func TestRetryPolicyValidation(t *testing.T) {
 func TestWriteThroughRetries(t *testing.T) {
 	k := sim.NewKernel(1)
 	tr := &scriptedTransport{k: k, drops: 1, latency: sim.Millisecond}
-	c := retryClient(t, k, tr, RetryPolicy{
+	c := retryClient(t, k, tr, retry.Policy{
 		MaxAttempts: 2, Timeout: 50 * sim.Millisecond, Backoff: 10 * sim.Millisecond,
 	})
 	completed := false

@@ -336,6 +336,80 @@ func (c *Client) Spans(opts ...CallOption) ([]obs.SpanRecord, error) {
 	return spans, err
 }
 
+// Top fetches one scrape-fresh grid snapshot.
+func (c *Client) Top(opts ...CallOption) (TopInfo, error) {
+	var info TopInfo
+	err := c.Call("top", nil, &info, opts...)
+	return info, err
+}
+
+// Alerts fetches the rule set and full alert firing log.
+func (c *Client) Alerts(opts ...CallOption) (AlertsInfo, error) {
+	var info AlertsInfo
+	err := c.Call("alerts", nil, &info, opts...)
+	return info, err
+}
+
+// Watch streams count top frames everySec virtual seconds apart,
+// invoking fn for each as it arrives. fn returning an error stops the
+// watch early (the connection is dropped to discard the remaining
+// frames). Watch holds the client for the whole stream — other calls on
+// this client block until it finishes.
+func (c *Client) Watch(count int, everySec float64, fn func(TopInfo) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConn(); err != nil {
+		return err
+	}
+	c.nextID++
+	req := Request{ID: c.nextID, Op: "watch"}
+	b, err := json.Marshal(WatchParams{Count: count, EverySec: everySec})
+	if err != nil {
+		return fmt.Errorf("wire: params: %w", err)
+	}
+	req.Params = b
+	deadline := time.Now().Add(c.cfg.CallTimeout)
+	_ = c.conn.SetWriteDeadline(deadline)
+	if err := c.enc.Encode(req); err != nil {
+		c.dropConn()
+		return fmt.Errorf("wire: send: %w", err)
+	}
+	for {
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.cfg.CallTimeout))
+		if !c.reader.Scan() {
+			err := c.reader.Err()
+			c.dropConn()
+			if err != nil {
+				return fmt.Errorf("wire: recv: %w", err)
+			}
+			return errors.New("wire: connection closed")
+		}
+		var resp Response
+		if err := json.Unmarshal(c.reader.Bytes(), &resp); err != nil {
+			return fmt.Errorf("wire: bad response: %w", err)
+		}
+		if resp.ID != req.ID {
+			return fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
+		}
+		if resp.Error != "" {
+			return decodeError(resp)
+		}
+		var frame TopInfo
+		if err := json.Unmarshal(resp.Data, &frame); err != nil {
+			return fmt.Errorf("wire: response data: %w", err)
+		}
+		if err := fn(frame); err != nil {
+			// Abandon the stream: the connection carries frames we will
+			// not read, so discard it.
+			c.dropConn()
+			return err
+		}
+		if !resp.More {
+			return nil
+		}
+	}
+}
+
 // Ping checks liveness.
 func (c *Client) Ping(opts ...CallOption) error {
 	var pong string

@@ -6,6 +6,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"vmgrid/internal/retry"
+	"vmgrid/internal/sim"
 )
 
 // TestCloseDrainsIdleConnections: Close must not wait for clients to
@@ -127,7 +130,7 @@ func TestCallTimeoutOnSilentServer(t *testing.T) {
 	}()
 	c, err := DialConfig(ln.Addr().String(), Config{
 		CallTimeout: 200 * time.Millisecond,
-		MaxAttempts: 1,
+		Retry:       retry.Policy{MaxAttempts: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -152,8 +155,7 @@ func TestDialRetriesAreBounded(t *testing.T) {
 	addr := ln.Addr().String()
 	c, err := DialConfig(addr, Config{
 		DialTimeout: 200 * time.Millisecond,
-		MaxAttempts: 2,
-		Backoff:     10 * time.Millisecond,
+		Retry:       retry.Policy{MaxAttempts: 2, Backoff: 10 * sim.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)

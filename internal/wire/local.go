@@ -75,3 +75,17 @@ func (l *Local) Status() (StatusInfo, error) {
 	err := l.Call("status", nil, &st)
 	return st, err
 }
+
+// Top fetches one scrape-fresh grid snapshot.
+func (l *Local) Top() (TopInfo, error) {
+	var info TopInfo
+	err := l.Call("top", nil, &info)
+	return info, err
+}
+
+// Alerts fetches the rule set and alert firing log.
+func (l *Local) Alerts() (AlertsInfo, error) {
+	var info AlertsInfo
+	err := l.Call("alerts", nil, &info)
+	return info, err
+}

@@ -17,6 +17,8 @@ import (
 	"vmgrid/internal/obs"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
+	"vmgrid/internal/telemetry"
+	"vmgrid/internal/vfs"
 	"vmgrid/internal/vmm"
 )
 
@@ -41,12 +43,21 @@ type Server struct {
 }
 
 // NewServer creates a server around a fresh grid seeded with seed. The
-// grid is traced from birth so the "metrics" and "spans" ops always have
-// data to report.
+// grid is traced and telemetered from birth so the "metrics", "spans",
+// "top", and "alerts" ops always have data to report. The collector is
+// scraped manually after each dispatched operation (never self-ticked:
+// a standing tick would keep the kernel's queue non-empty and break the
+// "simulation idle" detection in pumpUntil).
 func NewServer(seed uint64) *Server {
 	grid := core.NewGrid(seed)
 	tr := obs.New(grid.Kernel())
 	grid.SetTracer(tr)
+	if _, err := grid.EnableTelemetry(telemetry.Config{}); err != nil {
+		panic(err) // fresh grid: cannot happen
+	}
+	if err := grid.DefaultAlertRules(0); err != nil {
+		panic(err)
+	}
 	return &Server{
 		grid:     grid,
 		trace:    tr,
@@ -160,6 +171,14 @@ func (s *Server) handleConn(conn net.Conn) {
 		resp := Response{}
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
 			resp.Error = fmt.Sprintf("bad request: %v", err)
+		} else if req.Op == "watch" {
+			// Streaming: many responses under one ID, More set on all but
+			// the last. Handled outside dispatch so frames interleave with
+			// drain checks.
+			if !s.watch(req, enc) {
+				return
+			}
+			continue
 		} else {
 			resp = s.dispatch(req)
 		}
@@ -174,11 +193,71 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// dispatch runs one operation under the grid lock.
+// watch streams Count top frames EverySec virtual seconds apart.
+// Returns false when the connection should close (encode failure or
+// server drain).
+func (s *Server) watch(req Request, enc *json.Encoder) bool {
+	p, err := unmarshal[WatchParams](req.Params)
+	if err != nil {
+		_ = enc.Encode(Response{ID: req.ID, Error: err.Error()})
+		return true
+	}
+	if p.Count <= 0 {
+		p.Count = 1
+	}
+	every := sim.DurationOf(p.EverySec)
+	if every <= 0 {
+		every = sim.Second
+	}
+	for i := 0; i < p.Count; i++ {
+		select {
+		case <-s.closed:
+			// Draining: tell the client instead of leaving it waiting for
+			// frames that will never come.
+			_ = enc.Encode(Response{ID: req.ID, Error: "wire: server shutting down"})
+			return false
+		default:
+		}
+		resp := s.watchFrame(req.ID, i > 0, every)
+		resp.More = i < p.Count-1
+		if err := enc.Encode(resp); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// watchFrame advances virtual time by every (after the first frame),
+// scrapes, and snapshots — one frame of the stream, under the grid
+// lock.
+func (s *Server) watchFrame(id int64, advance bool, every sim.Duration) Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if advance {
+		k := s.grid.Kernel()
+		// ErrStalled just means the fabric is idle — the frame still
+		// renders current state.
+		if err := k.RunUntil(k.Now().Add(every)); err != nil && !errors.Is(err, sim.ErrStalled) {
+			return Response{ID: id, Error: err.Error()}
+		}
+	}
+	s.grid.Telemetry().Scrape()
+	data, err := marshal(s.top())
+	resp := Response{ID: id, Data: data}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	return resp
+}
+
+// dispatch runs one operation under the grid lock, then scrapes the
+// telemetry collector so the store tracks the fabric op by op (Scrape
+// is a no-op when virtual time has not advanced).
 func (s *Server) dispatch(req Request) Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	data, err := s.handle(req.Op, req.Params)
+	s.grid.Telemetry().Scrape()
 	resp := Response{ID: req.ID, Data: data}
 	if err != nil {
 		resp.Error = err.Error()
@@ -469,6 +548,24 @@ func (s *Server) handle(op string, params json.RawMessage) (json.RawMessage, err
 	case "status":
 		return marshal(s.status())
 
+	case "top":
+		// Scrape first so the snapshot reflects this very instant even
+		// when no other op has run yet.
+		s.grid.Telemetry().Scrape()
+		return marshal(s.top())
+
+	case "alerts":
+		s.grid.Telemetry().Scrape()
+		col := s.grid.Telemetry()
+		info := AlertsInfo{Rules: []AlertRule{}, Firings: []AlertInfo{}}
+		for _, r := range col.Rules() {
+			info.Rules = append(info.Rules, AlertRule{Name: r.Name, Expr: r.Expr})
+		}
+		for _, f := range col.Firings() {
+			info.Firings = append(info.Firings, alertInfo(f))
+		}
+		return marshal(info)
+
 	case "metrics":
 		return marshal(s.trace.Metrics().Snapshot())
 
@@ -572,4 +669,77 @@ func (s *Server) status() StatusInfo {
 		st.Sessions = append(st.Sessions, sessionInfo(s.sessions[name]))
 	}
 	return st
+}
+
+func alertInfo(f telemetry.Firing) AlertInfo {
+	return AlertInfo{
+		Rule:        f.Rule,
+		Series:      f.Series,
+		AtSec:       f.At.Seconds(),
+		Value:       f.Value,
+		ResolvedSec: f.ResolvedAt.Seconds(),
+	}
+}
+
+// top builds one grid snapshot from live fabric state plus the active
+// alert set. Caller holds s.mu.
+func (s *Server) top() TopInfo {
+	info := TopInfo{
+		VirtualSec: s.grid.Kernel().Now().Seconds(),
+		Scrapes:    s.grid.Telemetry().Scrapes(),
+		Nodes:      []TopNode{},
+		Sessions:   []TopSession{},
+		Alerts:     []AlertInfo{},
+	}
+	for _, name := range s.grid.NodeNames() {
+		n := s.grid.Node(name)
+		row := TopNode{Name: n.Name(), Site: n.Site(), Crashed: n.Crashed()}
+		if !n.Crashed() {
+			row.Slots = n.Slots()
+			row.Runnable = n.Host().Runnable()
+			row.Load = n.Host().LoadAverage()
+		}
+		if db := s.grid.Telemetry().DB(); db != nil {
+			if sr := db.Lookup("node.predicted_load{node=" + name + "}"); sr != nil && sr.Len() > 0 {
+				row.PredictedLoad = sr.Last().V
+			}
+		}
+		info.Nodes = append(info.Nodes, row)
+	}
+	var sessNames []string
+	for name := range s.sessions {
+		sessNames = append(sessNames, name)
+	}
+	sort.Strings(sessNames)
+	for _, name := range sessNames {
+		sess := s.sessions[name]
+		row := TopSession{Name: sess.Name(), State: sess.State().String()}
+		if sess.Node() != nil {
+			row.Node = sess.Node().Name()
+		}
+		u := sess.Usage()
+		if u.GuestUserSeconds > 0 {
+			row.Slowdown = u.CPUSeconds / u.GuestUserSeconds
+		}
+		row.GuestSec = u.GuestUserSeconds
+		row.WallSeconds = u.WallSeconds
+		var hits, misses, retries uint64
+		for _, c := range []*vfs.Client{sess.DataClient(), sess.ImageClient()} {
+			if c == nil {
+				continue
+			}
+			hits += c.Hits()
+			misses += c.Misses()
+			retries += c.Retries()
+		}
+		if hits+misses > 0 {
+			row.VFSHitRate = float64(hits) / float64(hits+misses)
+		}
+		row.VFSRetries = retries
+		info.Sessions = append(info.Sessions, row)
+	}
+	for _, f := range s.grid.Telemetry().Active() {
+		info.Alerts = append(info.Alerts, alertInfo(f))
+	}
+	return info
 }

@@ -23,12 +23,15 @@ type Request struct {
 
 // Response is one server->client message. Code, when set, is the stable
 // wire code of a sentinel error (see errors.go); clients use it to
-// reconstruct typed errors for errors.Is matching.
+// reconstruct typed errors for errors.Is matching. More marks a
+// streaming response (the watch op) with further frames to follow under
+// the same ID.
 type Response struct {
 	ID    int64           `json:"id"`
 	Error string          `json:"error,omitempty"`
 	Code  string          `json:"code,omitempty"`
 	Data  json.RawMessage `json:"data,omitempty"`
+	More  bool            `json:"more,omitempty"`
 }
 
 // AddNodeParams configures the add-node op.
@@ -163,6 +166,69 @@ type QueryEntry struct {
 	Kind  string         `json:"kind"`
 	Name  string         `json:"name"`
 	Attrs map[string]any `json:"attrs"`
+}
+
+// TopNode is one node row of a top snapshot.
+type TopNode struct {
+	Name          string  `json:"name"`
+	Site          string  `json:"site"`
+	Slots         int     `json:"slots"`
+	Runnable      int     `json:"runnable"`
+	Load          float64 `json:"load"`
+	PredictedLoad float64 `json:"predictedLoad,omitempty"`
+	Crashed       bool    `json:"crashed,omitempty"`
+}
+
+// TopSession is one session row of a top snapshot.
+type TopSession struct {
+	Name        string  `json:"name"`
+	State       string  `json:"state"`
+	Node        string  `json:"node,omitempty"`
+	Slowdown    float64 `json:"slowdown,omitempty"`
+	VFSHitRate  float64 `json:"vfsHitRate,omitempty"`
+	VFSRetries  uint64  `json:"vfsRetries,omitempty"`
+	GuestSec    float64 `json:"guestSec,omitempty"`
+	WallSeconds float64 `json:"wallSeconds,omitempty"`
+}
+
+// AlertInfo is one alert firing in top/alerts responses. ResolvedSec is
+// negative while the alert is still active.
+type AlertInfo struct {
+	Rule        string  `json:"rule"`
+	Series      string  `json:"series"`
+	AtSec       float64 `json:"atSec"`
+	Value       float64 `json:"value"`
+	ResolvedSec float64 `json:"resolvedSec"`
+}
+
+// AlertRule describes one registered rule in the alerts response.
+type AlertRule struct {
+	Name string `json:"name"`
+	Expr string `json:"expr"`
+}
+
+// TopInfo is the top op response: one scrape-fresh snapshot of the
+// whole grid.
+type TopInfo struct {
+	VirtualSec float64      `json:"virtualSec"`
+	Scrapes    int          `json:"scrapes"`
+	Nodes      []TopNode    `json:"nodes"`
+	Sessions   []TopSession `json:"sessions"`
+	Alerts     []AlertInfo  `json:"alerts"` // active firings only
+}
+
+// AlertsInfo is the alerts op response: the rule set plus the full
+// firing log.
+type AlertsInfo struct {
+	Rules   []AlertRule `json:"rules"`
+	Firings []AlertInfo `json:"firings"`
+}
+
+// WatchParams configures the watch op: Count streamed top frames,
+// EverySec virtual seconds apart (default 1 s).
+type WatchParams struct {
+	Count    int     `json:"count"`
+	EverySec float64 `json:"everySec,omitempty"`
 }
 
 func marshal(v any) (json.RawMessage, error) {
