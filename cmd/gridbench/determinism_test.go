@@ -1,0 +1,74 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureRun executes run(args) with stdout captured and returns the
+// output minus the first line (the run header embeds the worker count
+// and Go version, which legitimately vary).
+func captureRun(t *testing.T, args ...string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := run(args)
+	_ = w.Close()
+	os.Stdout = old
+	out := <-done
+	_ = r.Close()
+	if runErr != nil {
+		t.Fatalf("run(%v): %v", args, runErr)
+	}
+	if i := strings.IndexByte(out, '\n'); i >= 0 {
+		out = out[i+1:]
+	}
+	return out
+}
+
+// TestOutputsByteIdenticalAcrossParallelism regenerates Table 1,
+// Table 2, and Ablation A at -parallel 1 and -parallel 8 and requires
+// the tables to match the committed goldens byte for byte. This is the
+// determinism guard on the data-plane optimizations: batched reads,
+// pooled RPC calls, incremental routes, and interned telemetry keys
+// must not move a single event, so the numbers cannot drift — at any
+// worker count.
+func TestOutputsByteIdenticalAcrossParallelism(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"table1.golden", []string{"-exp", "table1"}},
+		{"table2_s2.golden", []string{"-exp", "table2", "-samples", "2"}},
+		{"ablation-staging.golden", []string{"-exp", "ablation-staging"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p1 := captureRun(t, append(tc.args, "-parallel", "1")...)
+			p8 := captureRun(t, append(tc.args, "-parallel", "8")...)
+			if p1 != p8 {
+				t.Errorf("output differs between -parallel 1 and -parallel 8")
+			}
+			if p1 != string(want) {
+				t.Errorf("output drifted from committed golden %s:\n got %d bytes\nwant %d bytes",
+					tc.golden, len(p1), len(want))
+			}
+		})
+	}
+}

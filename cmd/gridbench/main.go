@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"vmgrid/internal/experiments"
@@ -56,8 +57,39 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "worker goroutines per experiment (0 = one per CPU)")
 	tracePath := fs.String("trace", "", "write Chrome trace JSON of fig1/table2 samples to this file")
 	telemetryPath := fs.String("telemetry", "", "write telemetry time-series/alert JSON of fig1/table2 samples to this file")
+	pprofPath := fs.String("pprof", "", "write a CPU profile of the run to this file (go tool pprof)")
+	pprofMemPath := fs.String("pprof-mem", "", "write an allocation profile at exit to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	if *pprofMemPath != "" {
+		path := *pprofMemPath
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gridbench: pprof-mem:", err)
+				return
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gridbench: pprof-mem:", err)
+			}
+			_ = f.Close()
+		}()
 	}
 	var traceSet *obs.TraceSet
 	if *tracePath != "" {

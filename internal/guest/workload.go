@@ -2,9 +2,11 @@ package guest
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"vmgrid/internal/sim"
+
+	"vmgrid/internal/storage"
 )
 
 // Workload describes a program the guest runs: user CPU work plus the
@@ -178,6 +180,15 @@ type Task struct {
 	writesDone int
 	plan       []ioOp
 	next       int // index of the next planned I/O
+
+	// Pre-bound callbacks, created once per task. The I/O loop runs tens
+	// of thousands of times per workload; minting fresh closures for each
+	// poll, issue, and completion was a dominant allocation source. Only
+	// one planned I/O is ever outstanding, so sharing them is safe.
+	pollFn     func()
+	issueFn    func()
+	completeFn func()
+	ioMount    storage.Backend // mount resolved when the current op blocked
 }
 
 // Run starts a workload in the guest and invokes done with the result
@@ -188,6 +199,9 @@ func (o *OS) Run(w Workload, done func(TaskResult)) (*Task, error) {
 		return nil, err
 	}
 	t := &Task{os: o, workload: w, done: done, start: o.Kernel().Now()}
+	t.pollFn = t.pollNext
+	t.issueFn = t.issueIO
+	t.completeFn = t.completeIO
 	t.plan = buildIOPlan(w)
 	seen := make(map[string]bool, 2)
 	for _, op := range t.plan {
@@ -208,52 +222,79 @@ func (o *OS) Run(w Workload, done func(TaskResult)) (*Task, error) {
 }
 
 // buildIOPlan merges the workload's data and root I/O streams into one
-// work-ordered schedule.
+// work-ordered schedule. Each stream's thresholds strictly increase, so
+// a three-way merge into one pre-sized slice produces the sorted plan
+// directly — no append growth, no reflection-based sort. The threshold
+// formulas are kept bitwise-identical to the historical sort-based
+// builder so existing experiment outputs do not move.
 func buildIOPlan(w Workload) []ioOp {
-	var plan []ioOp
+	total := w.Reads + w.RootOps + w.Writes
+	if total == 0 {
+		return nil
+	}
+	dataMount := w.Mount
+	if dataMount == "" {
+		dataMount = "root"
+	}
+	var perRead, perRoot, perWrite int64
 	if w.Reads > 0 {
-		mount := w.Mount
-		if mount == "" {
-			mount = "root"
-		}
-		per := w.ReadBytes / int64(w.Reads)
-		for i := 0; i < w.Reads; i++ {
-			plan = append(plan, ioOp{
-				threshold: w.CPUSeconds * float64(i+1) / float64(w.Reads+1),
-				mount:     mount,
-				offset:    per * int64(i),
-				bytes:     per,
-			})
-		}
+		perRead = w.ReadBytes / int64(w.Reads)
 	}
 	if w.RootOps > 0 {
-		per := w.RootBytes / int64(w.RootOps)
-		for i := 0; i < w.RootOps; i++ {
-			plan = append(plan, ioOp{
-				threshold: w.CPUSeconds * (float64(i+1)/float64(w.RootOps+1) + 1e-9),
-				mount:     "root",
-				offset:    per * int64(i),
-				bytes:     per,
-			})
-		}
+		perRoot = w.RootBytes / int64(w.RootOps)
 	}
 	if w.Writes > 0 {
-		mount := w.Mount
-		if mount == "" {
-			mount = "root"
-		}
-		per := w.WriteBytes / int64(w.Writes)
-		for i := 0; i < w.Writes; i++ {
+		perWrite = w.WriteBytes / int64(w.Writes)
+	}
+
+	plan := make([]ioOp, 0, total)
+	ri, oi, wi := 0, 0, 0
+	inf := math.Inf(1)
+	rt, ot, wt := inf, inf, inf
+	if w.Reads > 0 {
+		rt = w.CPUSeconds * float64(1) / float64(w.Reads+1)
+	}
+	if w.RootOps > 0 {
+		ot = w.CPUSeconds * (float64(1)/float64(w.RootOps+1) + 1e-9)
+	}
+	if w.Writes > 0 {
+		wt = w.CPUSeconds * (float64(1)/float64(w.Writes+1) + 2e-9)
+	}
+	for len(plan) < total {
+		switch {
+		case rt <= ot && rt <= wt:
 			plan = append(plan, ioOp{
-				threshold: w.CPUSeconds * (float64(i+1)/float64(w.Writes+1) + 2e-9),
-				mount:     mount,
-				offset:    per * int64(i),
-				bytes:     per,
-				write:     true,
+				threshold: rt, mount: dataMount,
+				offset: perRead * int64(ri), bytes: perRead,
 			})
+			ri++
+			rt = inf
+			if ri < w.Reads {
+				rt = w.CPUSeconds * float64(ri+1) / float64(w.Reads+1)
+			}
+		case ot <= wt:
+			plan = append(plan, ioOp{
+				threshold: ot, mount: "root",
+				offset: perRoot * int64(oi), bytes: perRoot,
+			})
+			oi++
+			ot = inf
+			if oi < w.RootOps {
+				ot = w.CPUSeconds * (float64(oi+1)/float64(w.RootOps+1) + 1e-9)
+			}
+		default:
+			plan = append(plan, ioOp{
+				threshold: wt, mount: dataMount,
+				offset: perWrite * int64(wi), bytes: perWrite,
+				write: true,
+			})
+			wi++
+			wt = inf
+			if wi < w.Writes {
+				wt = w.CPUSeconds * (float64(wi+1)/float64(w.Writes+1) + 2e-9)
+			}
 		}
 	}
-	sort.Slice(plan, func(i, j int) bool { return plan[i].threshold < plan[j].threshold })
 	return plan
 }
 
@@ -282,16 +323,23 @@ func (t *Task) scheduleNextIO() {
 	if t.next >= len(t.plan) {
 		return
 	}
-	t.pollIO(t.plan[t.next].threshold)
+	t.pollNext()
 }
 
-// pollIO watches for the work tracker crossing the threshold. Rather
-// than polling on a timer, it predicts the crossing from the current
-// rate and re-predicts whenever it fires early.
-func (t *Task) pollIO(threshold float64) {
+// pollNext watches for the work tracker crossing the next planned op's
+// threshold. Rather than polling on a timer, it predicts the crossing
+// from the current rate and re-predicts whenever it fires early. The
+// threshold is read from the plan at fire time: t.next only advances
+// when an op completes, which in turn ends the poll chain, so the value
+// is the same one the chain started with.
+func (t *Task) pollNext() {
 	if t.state != taskRunning || t.tracker == nil || t.tracker.Finished() {
 		return
 	}
+	if t.next >= len(t.plan) {
+		return
+	}
+	threshold := t.plan[t.next].threshold
 	k := t.os.Kernel()
 	consumed := t.tracker.Consumed()
 	if consumed >= threshold {
@@ -309,12 +357,12 @@ func (t *Task) pollIO(threshold float64) {
 		// Stalled (VM suspended or preempted): check again in a while.
 		wait = 100 * sim.Millisecond
 	}
-	k.After(wait, func() { t.pollIO(threshold) })
+	k.After(wait, t.pollFn)
 }
 
 // blockForIO parks the task and issues the next planned read.
 func (t *Task) blockForIO() {
-	op := t.plan[t.next]
+	op := &t.plan[t.next]
 	mount, ok := t.os.mounts[op.mount]
 	if !ok {
 		t.fail(fmt.Errorf("guest: mount %q detached mid-run", op.mount))
@@ -325,29 +373,39 @@ func (t *Task) blockForIO() {
 	t.tracker.SetRate(0)
 	t.os.updateActivity()
 
-	penalty := t.os.cpu.IOPenalty()
-	complete := func() {
-		if op.write {
-			t.writesDone++
-		} else {
-			t.readsDone++
-		}
-		t.next++
-		t.ioWait += t.os.Kernel().Now().Sub(t.ioStart)
-		if t.state != taskBlocked {
-			return // task was torn down while blocked
-		}
-		t.state = taskRunning
-		t.os.updateActivity()
-		t.scheduleNextIO()
+	// The mount is resolved now (fail-fast when detached) but used after
+	// the provider's I/O penalty elapses, as before.
+	t.ioMount = mount
+	t.os.Kernel().After(t.os.cpu.IOPenalty(), t.issueFn)
+}
+
+// issueIO hands the current planned op to its mount once the per-op
+// penalty has been charged.
+func (t *Task) issueIO() {
+	op := &t.plan[t.next]
+	if op.write {
+		t.ioMount.Write(op.offset, op.bytes, t.completeFn)
+		return
 	}
-	t.os.Kernel().After(penalty, func() {
-		if op.write {
-			mount.Write(op.offset, op.bytes, complete)
-			return
-		}
-		mount.Read(op.offset, op.bytes, complete)
-	})
+	t.ioMount.Read(op.offset, op.bytes, t.completeFn)
+}
+
+// completeIO is the completion callback of the in-flight planned op.
+func (t *Task) completeIO() {
+	op := &t.plan[t.next]
+	if op.write {
+		t.writesDone++
+	} else {
+		t.readsDone++
+	}
+	t.next++
+	t.ioWait += t.os.Kernel().Now().Sub(t.ioStart)
+	if t.state != taskBlocked {
+		return // task was torn down while blocked
+	}
+	t.state = taskRunning
+	t.os.updateActivity()
+	t.scheduleNextIO()
 }
 
 // cpuDone fires when all user work has been retired.

@@ -1,9 +1,8 @@
 package hostos
 
 import (
-	"container/list"
-
 	"vmgrid/internal/hw"
+	"vmgrid/internal/lru"
 	"vmgrid/internal/sim"
 )
 
@@ -21,13 +20,14 @@ const hitLatency = 50 * sim.Microsecond
 // are write-through: the caller's completion waits for the device, and
 // the written pages become cached (this is what makes a VM image read
 // shortly after it was copied fast, as in Table 2's persistent rows).
+// The page index is an intrusive LRU with recycled nodes, so a cache at
+// steady state allocates nothing.
 type BufferCache struct {
 	disk     *hw.Disk
 	capacity int64 // bytes
 	used     int64
 
-	lru   *list.List // front = most recent; values are pageKey
-	index map[pageKey]*list.Element
+	pages *lru.Cache[pageKey]
 
 	hits, misses uint64
 }
@@ -45,8 +45,7 @@ func NewBufferCache(disk *hw.Disk, capacity int64) *BufferCache {
 	return &BufferCache{
 		disk:     disk,
 		capacity: capacity,
-		lru:      list.New(),
-		index:    make(map[pageKey]*list.Element),
+		pages:    lru.New[pageKey](int(capacity / CachePageSize)),
 	}
 }
 
@@ -70,27 +69,21 @@ func pageRange(off, size int64) (first, last int64) {
 }
 
 func (c *BufferCache) touch(key pageKey) bool {
-	if el, ok := c.index[key]; ok {
-		c.lru.MoveToFront(el)
-		return true
-	}
-	return false
+	return c.pages.Touch(key)
 }
 
 func (c *BufferCache) insert(key pageKey) {
 	if c.capacity < CachePageSize {
 		return
 	}
-	if c.touch(key) {
+	if c.pages.Touch(key) {
 		return
 	}
-	for c.used+CachePageSize > c.capacity && c.lru.Len() > 0 {
-		oldest := c.lru.Back()
-		delete(c.index, oldest.Value.(pageKey))
-		c.lru.Remove(oldest)
+	for c.used+CachePageSize > c.capacity && c.pages.Len() > 0 {
+		c.pages.EvictOldest()
 		c.used -= CachePageSize
 	}
-	c.index[key] = c.lru.PushFront(key)
+	c.pages.Insert(key)
 	c.used += CachePageSize
 }
 
@@ -171,14 +164,11 @@ func (c *BufferCache) write(k *sim.Kernel, file string, off, size int64, done fu
 
 // Invalidate drops all cached pages of file (e.g. when it is deleted).
 func (c *BufferCache) Invalidate(file string) {
-	for el := c.lru.Front(); el != nil; {
-		next := el.Next()
-		key := el.Value.(pageKey)
-		if key.file == file {
-			delete(c.index, key)
-			c.lru.Remove(el)
-			c.used -= CachePageSize
+	c.pages.Filter(func(key pageKey) bool {
+		if key.file != file {
+			return false
 		}
-		el = next
-	}
+		c.used -= CachePageSize
+		return true
+	})
 }

@@ -13,7 +13,7 @@ package hostos
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"vmgrid/internal/hw"
 	"vmgrid/internal/sim"
@@ -41,6 +41,12 @@ type Host struct {
 
 	procs  []*Process
 	nextID int
+
+	// rebalance scratch, reused across calls. rebalance runs on every
+	// demand change — twice per guest I/O operation — so per-call slice
+	// and map allocations here dominated the macrobenchmark profile.
+	scratchActive   []*Process
+	scratchUncapped []int
 }
 
 // Option configures a Host.
@@ -143,58 +149,64 @@ func (h *Host) Spawn(name string) *Process {
 }
 
 // rebalance recomputes granted rates by weighted max-min fairness and
-// notifies every process whose rate changed.
+// notifies every process whose rate changed. The working state lives in
+// scratch slices on the Host and a pending-rate field on each Process,
+// so steady-state rebalances allocate nothing.
 func (h *Host) rebalance() {
 	capacity := h.Capacity()
 
-	type slot struct {
-		p    *Process
-		rate float64
-	}
-	var active []slot
+	active := h.scratchActive[:0]
 	for _, p := range h.procs {
 		if p.active() {
-			active = append(active, slot{p: p})
+			p.newRate = 0
+			active = append(active, p)
 		}
 	}
+	h.scratchActive = active
 
 	if len(active) > 0 {
 		// Weighted max-min fairness (water-filling): repeatedly hand out
 		// capacity in proportion to weight, capping processes at their
 		// demand, until capacity or uncapped processes run out.
 		remaining := capacity
-		uncapped := make([]int, len(active))
+		uncapped := h.scratchUncapped[:0]
 		for i := range active {
-			uncapped[i] = i
+			uncapped = append(uncapped, i)
 		}
+		h.scratchUncapped = uncapped
 		for len(uncapped) > 0 && remaining > 1e-12 {
 			var wsum float64
 			for _, i := range uncapped {
-				wsum += active[i].p.weight
+				wsum += active[i].weight
 			}
-			// Find the smallest normalized headroom to cap first.
-			sort.Slice(uncapped, func(a, b int) bool {
-				sa := active[uncapped[a]]
-				sb := active[uncapped[b]]
-				ha := (sa.p.demand*capacity - sa.rate) / sa.p.weight
-				hb := (sb.p.demand*capacity - sb.rate) / sb.p.weight
-				return ha < hb
-			})
+			// Find the smallest normalized headroom to cap first. Only the
+			// minimum matters — ties yield identical grants either way — so
+			// a linear scan replaces sorting the whole remainder.
+			minAt := 0
+			minH := math.Inf(1)
+			for at, i := range uncapped {
+				p := active[i]
+				if hr := (p.demand*capacity - p.newRate) / p.weight; hr < minH {
+					minH = hr
+					minAt = at
+				}
+			}
+			uncapped[0], uncapped[minAt] = uncapped[minAt], uncapped[0]
 			first := active[uncapped[0]]
-			need := first.p.demand*capacity - first.rate
+			need := first.demand*capacity - first.newRate
 			perWeight := remaining / wsum
-			if grant := need / first.p.weight; grant <= perWeight {
+			if grant := need / first.weight; grant <= perWeight {
 				// The most constrained process saturates; give every
 				// uncapped process that much per weight and retire it.
 				for _, i := range uncapped {
-					active[i].rate += grant * active[i].p.weight
+					active[i].newRate += grant * active[i].weight
 				}
 				remaining -= grant * wsum
 				uncapped = uncapped[1:]
 			} else {
 				// Capacity runs out before anyone else saturates.
 				for _, i := range uncapped {
-					active[i].rate += perWeight * active[i].p.weight
+					active[i].newRate += perWeight * active[i].weight
 				}
 				remaining = 0
 			}
@@ -204,8 +216,8 @@ func (h *Host) rebalance() {
 	// Time-sharing overhead: with n>1 processes sharing the core, each
 	// quantum boundary costs a context switch.
 	sharing := 0
-	for _, s := range active {
-		if s.rate > 1e-12 {
+	for _, p := range active {
+		if p.newRate > 1e-12 {
 			sharing++
 		}
 	}
@@ -217,12 +229,11 @@ func (h *Host) rebalance() {
 		}
 	}
 
-	granted := make(map[*Process]float64, len(active))
-	for _, s := range active {
-		granted[s.p] = s.rate * eff
-	}
 	for _, p := range h.procs {
-		rate := granted[p] // zero for inactive processes
+		rate := 0.0
+		if p.active() {
+			rate = p.newRate * eff
+		}
 		if rate != p.rate {
 			p.account()
 			p.rate = rate
@@ -245,6 +256,7 @@ type Process struct {
 	stopped bool
 	exited  bool
 	onRate  func(rate float64)
+	newRate float64 // rebalance working value; meaningless between calls
 
 	// accounting: CPU consumed so far, reconciled lazily.
 	consumed     float64

@@ -1,0 +1,67 @@
+package lru
+
+import (
+	"container/list"
+	"math/rand"
+	"testing"
+)
+
+// TestAgainstContainerList drives the intrusive cache and a
+// container/list reference through the same random op sequence and
+// requires identical observable behavior, eviction order included.
+func TestAgainstContainerList(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := New[int](16)
+	l := list.New()
+	idx := map[int]*list.Element{}
+	for i := 0; i < 200000; i++ {
+		op := rng.Intn(4)
+		k := rng.Intn(40)
+		switch op {
+		case 0:
+			a := c.Touch(k)
+			el, ok := idx[k]
+			if ok {
+				l.MoveToFront(el)
+			}
+			if a != ok {
+				t.Fatalf("op %d: touch(%d) = %v, want %v", i, k, a, ok)
+			}
+		case 1:
+			c.Insert(k)
+			if el, ok := idx[k]; ok {
+				l.MoveToFront(el)
+			} else {
+				idx[k] = l.PushFront(k)
+			}
+		case 2:
+			k1, ok1 := c.EvictOldest()
+			if l.Len() == 0 {
+				if ok1 {
+					t.Fatalf("op %d: evict on empty returned %d", i, k1)
+				}
+				continue
+			}
+			oldest := l.Back()
+			k2 := oldest.Value.(int)
+			delete(idx, k2)
+			l.Remove(oldest)
+			if !ok1 || k1 != k2 {
+				t.Fatalf("op %d: evict = %d,%v want %d", i, k1, ok1, k2)
+			}
+		case 3:
+			a := c.Remove(k)
+			el, ok := idx[k]
+			if ok {
+				delete(idx, k)
+				l.Remove(el)
+			}
+			if a != ok {
+				t.Fatalf("op %d: remove(%d) = %v, want %v", i, k, a, ok)
+			}
+		}
+		if c.Len() != l.Len() {
+			t.Fatalf("op %d: len %d vs %d", i, c.Len(), l.Len())
+		}
+	}
+}

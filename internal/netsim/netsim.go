@@ -2,7 +2,9 @@
 // connected by links with latency and bandwidth. Messages queue FIFO per
 // link direction, so concurrent transfers contend for bandwidth the way
 // they do on a real wire. Routing is shortest-path by hop count,
-// recomputed lazily when the topology changes.
+// computed lazily per source node and invalidated incrementally when the
+// topology changes: a link failure only discards the cached routes of
+// sources whose shortest-path tree actually used that link.
 //
 // Two canonical topologies bracket the paper's testbed: a switched
 // 100 Mbit LAN (Table 2's "within a LAN" startup measurements) and the
@@ -32,18 +34,31 @@ const (
 
 // Network is a set of nodes and links sharing one simulation kernel.
 type Network struct {
-	k      *sim.Kernel
-	nodes  map[string]*Node
-	routes map[string]map[string]string // routes[src][dst] = next hop
-	dirty  bool
-	drops  uint64
+	k             *sim.Kernel
+	nodes         map[string]*Node
+	routes        map[string]*srcRoutes
+	routeComputes uint64
+	drops         uint64
+
+	freeMsgs *message
+}
+
+// srcRoutes is one source node's shortest-path state: the next-hop
+// table plus the BFS distances and tree parents that incremental
+// invalidation consults. A cached entry is only kept across a topology
+// change when a fresh BFS would provably reproduce it bit for bit.
+type srcRoutes struct {
+	next   map[string]string // dst -> first hop
+	dist   map[string]int    // node -> hop count (absent = unreachable)
+	parent map[string]string // node -> BFS tree predecessor
 }
 
 // New creates an empty network.
 func New(k *sim.Kernel) *Network {
 	return &Network{
-		k:     k,
-		nodes: make(map[string]*Node),
+		k:      k,
+		nodes:  make(map[string]*Node),
+		routes: make(map[string]*srcRoutes),
 	}
 }
 
@@ -57,14 +72,14 @@ func (n *Network) Node(name string) *Node { return n.nodes[name] }
 func (n *Network) Nodes() int { return len(n.nodes) }
 
 // AddNode creates a node. Adding an existing name returns the existing
-// node, so topology builders can be idempotent.
+// node, so topology builders can be idempotent. A fresh node has no
+// links, so existing cached routes stay valid as-is.
 func (n *Network) AddNode(name string) *Node {
 	if node, ok := n.nodes[name]; ok {
 		return node
 	}
-	node := &Node{net: n, name: name, links: make(map[string]*link)}
+	node := &Node{net: n, name: name, links: make(map[string]*link, 4)}
 	n.nodes[name] = node
-	n.dirty = true
 	return node
 }
 
@@ -80,7 +95,9 @@ func (n *Network) Connect(a, b string, latency sim.Duration, bandwidthBps float6
 	}
 	na.links[b] = &link{net: n, to: nb, latency: latency, bwBps: bandwidthBps}
 	nb.links[a] = &link{net: n, to: na, latency: latency, bwBps: bandwidthBps}
-	n.dirty = true
+	na.sortedPeers = nil
+	nb.sortedPeers = nil
+	n.invalidateEdgeUp(a, b)
 	return nil
 }
 
@@ -95,11 +112,12 @@ func (n *Network) ConnectWAN(a, b string) error {
 }
 
 // SetLinkUp marks the a<->b link up or down (failure injection). Routing
-// recomputes around down links immediately: the cached next-hop table is
-// invalidated, so partitions take effect mid-simulation. Messages already
-// queued on the link still cross it (store-and-forward), but if their
-// onward route vanished by arrival time they are dropped and counted in
-// Drops.
+// recomputes around down links immediately: the affected next-hop caches
+// are invalidated, so partitions take effect mid-simulation. Messages
+// already queued on the link still cross it (store-and-forward), but if
+// their onward route vanished by arrival time they are dropped and
+// counted in Drops. Only sources whose routing actually depends on the
+// flapped link pay a recompute; see RouteComputes.
 func (n *Network) SetLinkUp(a, b string, up bool) error {
 	na, nb := n.nodes[a], n.nodes[b]
 	if na == nil || nb == nil {
@@ -111,7 +129,11 @@ func (n *Network) SetLinkUp(a, b string, up bool) error {
 	}
 	la.down = !up
 	lb.down = !up
-	n.dirty = true
+	if up {
+		n.invalidateEdgeUp(a, b)
+	} else {
+		n.invalidateEdgeDown(a, b)
+	}
 	return nil
 }
 
@@ -129,13 +151,88 @@ func (n *Network) SetNodeUp(name string, up bool) error {
 			back.down = !up
 		}
 	}
-	n.dirty = true
+	if up {
+		n.invalidateNodeUp(nd)
+	} else {
+		n.invalidateNodeDown(name)
+	}
 	return nil
+}
+
+// invalidateEdgeDown discards cached routes of every source whose BFS
+// tree crossed the a<->b edge. For any other source the edge was only
+// ever examined after both endpoints were visited, so a fresh BFS
+// without it walks the identical traversal.
+func (n *Network) invalidateEdgeDown(a, b string) {
+	for src, r := range n.routes {
+		if r.parent[a] == b || r.parent[b] == a {
+			delete(n.routes, src)
+		}
+	}
+}
+
+// invalidateEdgeUp discards cached routes that a new (or restored)
+// a<->b edge could change. A source keeps its cache only when the fresh
+// BFS provably matches: either both endpoints are unreachable from it
+// (the edge lives entirely outside its component), or both sit at the
+// same BFS depth (each end is already visited before the other's
+// adjacency scan reaches the new edge, so the traversal is unchanged).
+func (n *Network) invalidateEdgeUp(a, b string) {
+	for src, r := range n.routes {
+		da, oka := r.dist[a]
+		db, okb := r.dist[b]
+		if !oka && !okb {
+			continue
+		}
+		if oka && okb && da == db {
+			continue
+		}
+		delete(n.routes, src)
+	}
+}
+
+// invalidateNodeDown handles a node crash: any source that could reach
+// the node loses its cache (the node and possibly more becomes
+// unreachable); sources that already could not reach it are untouched,
+// because every link of an unreachable node connects unreachable nodes.
+func (n *Network) invalidateNodeDown(name string) {
+	for src, r := range n.routes {
+		if _, ok := r.dist[name]; ok {
+			delete(n.routes, src)
+		}
+	}
+}
+
+// invalidateNodeUp applies the edge-up rule across every restored link.
+func (n *Network) invalidateNodeUp(nd *Node) {
+	for src, r := range n.routes {
+		dn, okn := r.dist[nd.name]
+		keep := true
+		for peer := range nd.links {
+			dp, okp := r.dist[peer]
+			if !okn && !okp {
+				continue
+			}
+			if okn && okp && dn == dp {
+				continue
+			}
+			keep = false
+			break
+		}
+		if !keep {
+			delete(n.routes, src)
+		}
+	}
 }
 
 // Drops returns messages discarded mid-path because their route
 // disappeared while they were in flight.
 func (n *Network) Drops() uint64 { return n.drops }
+
+// RouteComputes returns how many per-source BFS computations have run.
+// Fault-injection tests assert on this: flapping a link must not
+// recompute routes for sources whose paths never touched it.
+func (n *Network) RouteComputes() uint64 { return n.routeComputes }
 
 // BuildLAN creates the named nodes (if needed) and joins them through an
 // implicit switch: every pair is one LAN hop apart.
@@ -156,6 +253,76 @@ func (n *Network) BuildLAN(names ...string) error {
 // ErrNoRoute is wrapped by Send when the destination is unreachable.
 var ErrNoRoute = fmt.Errorf("netsim: no route")
 
+// message is one in-flight transfer, pooled on the network freelist so
+// multi-hop forwarding schedules no per-hop closures: the hop callback
+// is bound once when the struct is first allocated.
+type message struct {
+	n       *Network
+	at      *Node // node the message is currently heading to
+	dst     string
+	size    int64
+	payload any
+	deliver func(any)
+
+	hopFn     func() // bound to hop: arrival at the next store-and-forward point
+	deliverFn func() // bound to finalDeliver: the zero-delay local delivery event
+	nextFree  *message
+}
+
+func (n *Network) getMsg() *message {
+	m := n.freeMsgs
+	if m == nil {
+		m = &message{n: n}
+		m.hopFn = m.hop
+		m.deliverFn = m.finalDeliver
+		return m
+	}
+	n.freeMsgs = m.nextFree
+	m.nextFree = nil
+	return m
+}
+
+func (n *Network) putMsg(m *message) {
+	m.at = nil
+	m.dst = ""
+	m.size = 0
+	m.payload = nil
+	m.deliver = nil
+	m.nextFree = n.freeMsgs
+	n.freeMsgs = m
+}
+
+// hop runs when the message finishes crossing a link and lands at m.at.
+func (m *message) hop() {
+	n := m.n
+	if m.at.name == m.dst {
+		n.k.After(0, m.deliverFn)
+		return
+	}
+	// The route is re-consulted at every store-and-forward hop. If a
+	// link failed while the message was on the wire, the onward route
+	// may be gone by arrival time: the message is dropped, exactly as a
+	// router with no route would drop it. End-to-end recovery is the
+	// caller's job (vfs per-op timeouts and retries).
+	hop, ok := n.routesFor(m.at.name).next[m.dst]
+	if !ok {
+		n.drops++
+		n.putMsg(m)
+		return
+	}
+	l := m.at.links[hop]
+	m.at = l.to
+	l.transmit(m.size, m.hopFn)
+}
+
+func (m *message) finalDeliver() {
+	deliver, payload := m.deliver, m.payload
+	m.n.putMsg(m)
+	if deliver != nil {
+		deliver(payload)
+	}
+}
+
 // Send transmits size bytes from src to dst and invokes deliver with the
 // payload when the last byte arrives. Multi-hop paths pay each hop's
 // latency and queue for each hop's bandwidth.
@@ -170,34 +337,23 @@ func (n *Network) Send(src, dst string, size int64, payload any, deliver func(pa
 	if size < 0 {
 		size = 0
 	}
-	return n.forward(from, dst, size, payload, deliver)
-}
-
-func (n *Network) forward(from *Node, dst string, size int64, payload any, deliver func(any)) error {
-	if from.name == dst {
-		n.k.After(0, func() {
-			if deliver != nil {
-				deliver(payload)
-			}
-		})
+	m := n.getMsg()
+	m.dst = dst
+	m.size = size
+	m.payload = payload
+	m.deliver = deliver
+	if src == dst {
+		n.k.After(0, m.deliverFn)
 		return nil
 	}
-	n.ensureRoutes()
-	hop, ok := n.routes[from.name][dst]
+	hop, ok := n.routesFor(src).next[dst]
 	if !ok {
-		return fmt.Errorf("%w: %s -> %s", ErrNoRoute, from.name, dst)
+		n.putMsg(m)
+		return fmt.Errorf("%w: %s -> %s", ErrNoRoute, src, dst)
 	}
 	l := from.links[hop]
-	l.transmit(size, func() {
-		// The route is re-consulted at every store-and-forward hop. If a
-		// link failed while the message was on the wire, the onward route
-		// may be gone by arrival time: the message is dropped, exactly as
-		// a router with no route would drop it. End-to-end recovery is the
-		// caller's job (vfs per-op timeouts and retries).
-		if err := n.forward(l.to, dst, size, payload, deliver); err != nil {
-			n.drops++
-		}
-	})
+	m.at = l.to
+	l.transmit(size, m.hopFn)
 	return nil
 }
 
@@ -208,14 +364,13 @@ func (n *Network) Latency(src, dst string, size int64) (sim.Duration, error) {
 	if src == dst {
 		return 0, nil
 	}
-	n.ensureRoutes()
-	var total sim.Duration
 	cur := n.nodes[src]
 	if cur == nil || n.nodes[dst] == nil {
 		return 0, fmt.Errorf("netsim: latency: unknown node")
 	}
+	var total sim.Duration
 	for cur.name != dst {
-		hop, ok := n.routes[cur.name][dst]
+		hop, ok := n.routesFor(cur.name).next[dst]
 		if !ok {
 			return 0, fmt.Errorf("%w: %s -> %s", ErrNoRoute, cur.name, dst)
 		}
@@ -226,48 +381,57 @@ func (n *Network) Latency(src, dst string, size int64) (sim.Duration, error) {
 	return total, nil
 }
 
-// ensureRoutes rebuilds the all-pairs next-hop table (BFS per node) if
-// the topology changed.
-func (n *Network) ensureRoutes() {
-	if !n.dirty {
-		return
+// routesFor returns src's next-hop table, running one BFS if the cache
+// has no valid entry. Neighbors expand in sorted name order so
+// equal-cost ties resolve identically on every rebuild — fault
+// injection recomputes routes mid-run, and route choice must not depend
+// on map iteration order.
+func (n *Network) routesFor(src string) *srcRoutes {
+	if r, ok := n.routes[src]; ok {
+		return r
 	}
-	n.routes = make(map[string]map[string]string, len(n.nodes))
-	// Neighbors expand in sorted name order so equal-cost ties resolve
-	// identically on every rebuild — fault injection recomputes routes
-	// mid-run, and route choice must not depend on map iteration order.
-	for name, node := range n.nodes {
-		next := make(map[string]string)
-		// BFS from node; record first hop toward every destination.
-		type qe struct {
-			at    *Node
-			first string
+	n.routeComputes++
+	node := n.nodes[src]
+	r := &srcRoutes{
+		next:   make(map[string]string),
+		dist:   map[string]int{src: 0},
+		parent: make(map[string]string),
+	}
+	// BFS from src; record first hop, depth, and tree parent for every
+	// reachable destination.
+	type qe struct {
+		at    *Node
+		first string
+		depth int
+	}
+	var queue []qe
+	for _, peer := range node.peers() {
+		if node.links[peer].down {
+			continue
 		}
-		visited := map[string]bool{name: true}
-		var queue []qe
-		for _, peer := range node.peers() {
-			if node.links[peer].down || visited[peer] {
+		r.next[peer] = peer
+		r.dist[peer] = 1
+		r.parent[peer] = src
+		queue = append(queue, qe{at: n.nodes[peer], first: peer, depth: 1})
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, peer := range cur.at.peers() {
+			if cur.at.links[peer].down {
 				continue
 			}
-			visited[peer] = true
-			next[peer] = peer
-			queue = append(queue, qe{at: n.nodes[peer], first: peer})
-		}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, peer := range cur.at.peers() {
-				if cur.at.links[peer].down || visited[peer] {
-					continue
-				}
-				visited[peer] = true
-				next[peer] = cur.first
-				queue = append(queue, qe{at: n.nodes[peer], first: cur.first})
+			if _, seen := r.dist[peer]; seen {
+				continue
 			}
+			r.next[peer] = cur.first
+			r.dist[peer] = cur.depth + 1
+			r.parent[peer] = cur.at.name
+			queue = append(queue, qe{at: n.nodes[peer], first: cur.first, depth: cur.depth + 1})
 		}
-		n.routes[name] = next
 	}
-	n.dirty = false
+	n.routes[src] = r
+	return r
 }
 
 // Node is a network attachment point (one per simulated machine).
@@ -275,6 +439,8 @@ type Node struct {
 	net   *Network
 	name  string
 	links map[string]*link
+
+	sortedPeers []string // cached sorted neighbor names; nil = rebuild
 }
 
 // Name returns the node name.
@@ -283,14 +449,18 @@ func (nd *Node) Name() string { return nd.name }
 // Degree returns the number of attached links.
 func (nd *Node) Degree() int { return len(nd.links) }
 
-// peers returns the neighbor names in sorted order.
+// peers returns the neighbor names in sorted order. The slice is cached
+// and invalidated when a link is attached.
 func (nd *Node) peers() []string {
-	out := make([]string, 0, len(nd.links))
-	for peer := range nd.links {
-		out = append(out, peer)
+	if nd.sortedPeers == nil && len(nd.links) > 0 {
+		out := make([]string, 0, len(nd.links))
+		for peer := range nd.links {
+			out = append(out, peer)
+		}
+		sort.Strings(out)
+		nd.sortedPeers = out
 	}
-	sort.Strings(out)
-	return out
+	return nd.sortedPeers
 }
 
 // link is one direction of a connection. Transmissions serialize: the

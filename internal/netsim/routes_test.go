@@ -1,0 +1,235 @@
+package netsim
+
+import (
+	"testing"
+
+	"vmgrid/internal/sim"
+)
+
+// square builds the 4-cycle a-b-c-d-a and primes every source's route
+// table, returning the network.
+func square(t *testing.T, k *sim.Kernel) *Network {
+	t.Helper()
+	n := New(k)
+	for _, name := range []string{"a", "b", "c", "d"} {
+		n.AddNode(name)
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "a"}} {
+		if err := n.ConnectLAN(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, src := range []string{"a", "b", "c", "d"} {
+		for _, dst := range []string{"a", "b", "c", "d"} {
+			if src == dst {
+				continue
+			}
+			if _, err := n.Latency(src, dst, 1<<10); err != nil {
+				t.Fatalf("%s->%s: %v", src, dst, err)
+			}
+		}
+	}
+	return n
+}
+
+// TestLinkFlapSkipsUnaffectedRoutes: taking a link down mid-experiment
+// must not recompute routes for sources whose BFS tree never used it —
+// the incremental invalidation of the hot path. On the square, edge c-d
+// is a non-tree edge for sources a and b (their sorted-peer BFS reaches
+// c via b and d via a), so only c and d pay a recompute.
+func TestLinkFlapSkipsUnaffectedRoutes(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := square(t, k)
+	primed := n.RouteComputes()
+	if primed != 4 {
+		t.Fatalf("RouteComputes = %d after priming 4 sources, want 4", primed)
+	}
+
+	if err := n.SetLinkUp("c", "d", false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unaffected sources keep their tables: no BFS reruns.
+	for _, pair := range [][2]string{{"a", "c"}, {"b", "d"}, {"a", "d"}, {"b", "c"}} {
+		delivered := false
+		if err := n.Send(pair[0], pair[1], 1<<10, nil, func(any) { delivered = true }); err != nil {
+			t.Fatalf("%s->%s: %v", pair[0], pair[1], err)
+		}
+		k.Run()
+		if !delivered {
+			t.Fatalf("%s->%s not delivered after unrelated link flap", pair[0], pair[1])
+		}
+	}
+	if got := n.RouteComputes(); got != primed {
+		t.Errorf("RouteComputes = %d after sends from unaffected sources, want %d (no recompute)", got, primed)
+	}
+
+	// Affected sources (the flapped edge was in their tree) recompute
+	// exactly once each, and route around the dead link.
+	for _, pair := range [][2]string{{"c", "a"}, {"d", "b"}} {
+		delivered := false
+		if err := n.Send(pair[0], pair[1], 1<<10, nil, func(any) { delivered = true }); err != nil {
+			t.Fatalf("%s->%s: %v", pair[0], pair[1], err)
+		}
+		k.Run()
+		if !delivered {
+			t.Fatalf("%s->%s not delivered around the dead link", pair[0], pair[1])
+		}
+	}
+	if got := n.RouteComputes(); got != primed+2 {
+		t.Errorf("RouteComputes = %d after affected sources resent, want %d", got, primed+2)
+	}
+
+	// Correctness cross-check: every pair's latency equals a fresh
+	// network built directly on the degraded topology.
+	fresh := New(sim.NewKernel(1))
+	for _, name := range []string{"a", "b", "c", "d"} {
+		fresh.AddNode(name)
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"d", "a"}} {
+		if err := fresh.ConnectLAN(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, src := range []string{"a", "b", "c", "d"} {
+		for _, dst := range []string{"a", "b", "c", "d"} {
+			if src == dst {
+				continue
+			}
+			got, err1 := n.Latency(src, dst, 1<<10)
+			want, err2 := fresh.Latency(src, dst, 1<<10)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s->%s: %v / %v", src, dst, err1, err2)
+			}
+			if got != want {
+				t.Errorf("%s->%s latency %v after flap, fresh topology gives %v", src, dst, got, want)
+			}
+		}
+	}
+}
+
+// TestLinkRestoreInvalidatesConservatively: bringing the link back up
+// restores the original routes (same latencies as a never-flapped
+// square), whatever mix of cached and recomputed tables survived.
+func TestLinkRestoreInvalidatesConservatively(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := square(t, k)
+	if err := n.SetLinkUp("c", "d", false); err != nil {
+		t.Fatal(err)
+	}
+	// Recompute c and d against the degraded topology.
+	if _, err := n.Latency("c", "a", 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Latency("d", "a", 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetLinkUp("c", "d", true); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := square(t, sim.NewKernel(1))
+	for _, src := range []string{"a", "b", "c", "d"} {
+		for _, dst := range []string{"a", "b", "c", "d"} {
+			if src == dst {
+				continue
+			}
+			got, _ := n.Latency(src, dst, 1<<10)
+			want, _ := ref.Latency(src, dst, 1<<10)
+			if got != want {
+				t.Errorf("%s->%s latency %v after restore, want %v", src, dst, got, want)
+			}
+		}
+	}
+}
+
+// TestNodeFlapSkipsDisconnectedComponent: flapping a node down and up
+// must not touch route tables of sources that could never reach it.
+// Two disjoint components: p-q and m-x-y (x,y leaves of m).
+func TestNodeFlapSkipsDisconnectedComponent(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	for _, name := range []string{"p", "q", "m", "x", "y"} {
+		n.AddNode(name)
+	}
+	for _, e := range [][2]string{{"p", "q"}, {"m", "x"}, {"m", "y"}} {
+		if err := n.ConnectLAN(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prime p's and x's tables.
+	if _, err := n.Latency("p", "q", 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Latency("x", "y", 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	// Route x->y through m so the forwarding hop primes m's table too.
+	if err := n.Send("x", "y", 1<<10, nil, func(any) {}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	primed := n.RouteComputes()
+
+	// m is unreachable from p: flapping it is invisible to p's table.
+	if err := n.SetNodeUp("m", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetNodeUp("m", true); err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	if err := n.Send("p", "q", 1<<10, nil, func(any) { delivered = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !delivered {
+		t.Fatal("p->q not delivered after unrelated node flap")
+	}
+	if got := n.RouteComputes(); got != primed {
+		t.Errorf("RouteComputes = %d after disconnected-component flap, want %d", got, primed)
+	}
+
+	// x's and forwarding m's tables did depend on m: both recompute,
+	// and traffic flows again.
+	delivered = false
+	if err := n.Send("x", "y", 1<<10, nil, func(any) { delivered = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !delivered {
+		t.Fatal("x->y not delivered after m came back")
+	}
+	if got := n.RouteComputes(); got != primed+2 {
+		t.Errorf("RouteComputes = %d after x resent through m, want %d", got, primed+2)
+	}
+}
+
+// BenchmarkNetsimSend measures the pooled message path end to end: one
+// two-hop send (a->b->c on a chain) per iteration, kernel drained.
+func BenchmarkNetsimSend(b *testing.B) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	for _, name := range []string{"a", "b", "c"} {
+		n.AddNode(name)
+	}
+	if err := n.ConnectLAN("a", "b"); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.ConnectLAN("b", "c"); err != nil {
+		b.Fatal(err)
+	}
+	deliver := func(any) {}
+	if err := n.Send("a", "c", 1<<10, nil, deliver); err != nil {
+		b.Fatal(err)
+	}
+	k.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Send("a", "c", 1<<10, nil, deliver); err != nil {
+			b.Fatal(err)
+		}
+		k.Run()
+	}
+}

@@ -20,6 +20,10 @@ type WorkTracker struct {
 	pending   EventID // completion event, if one is scheduled
 	finished  bool
 	consumed  float64
+	// completeFn is w.complete bound once at construction; SetRate runs on
+	// every scheduler rebalance, and minting a fresh method-value closure
+	// there dominated the tracker's allocation profile.
+	completeFn func()
 }
 
 // NewWorkTracker creates a tracker for total units of work, initially at
@@ -29,7 +33,9 @@ func NewWorkTracker(k *Kernel, total float64, done func()) *WorkTracker {
 	if total <= 0 {
 		panic(fmt.Sprintf("sim: WorkTracker with non-positive work %v", total))
 	}
-	return &WorkTracker{k: k, remaining: total, since: k.Now(), done: done}
+	w := &WorkTracker{k: k, remaining: total, since: k.Now(), done: done}
+	w.completeFn = w.complete
+	return w
 }
 
 // Remaining returns the work left at the current virtual time.
@@ -86,7 +92,7 @@ func (w *WorkTracker) SetRate(rate float64) {
 	if eta < 0 {
 		eta = 0
 	}
-	w.pending = w.k.After(eta, w.complete)
+	w.pending = w.k.After(eta, w.completeFn)
 }
 
 // Abort cancels the work without running the completion callback.

@@ -119,7 +119,7 @@ func (s *Store) Open(name string) (*LocalFile, error) {
 	if _, ok := s.files[name]; !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	return &LocalFile{store: s, name: name}, nil
+	return &LocalFile{store: s, name: name, qname: s.qualify(name)}, nil
 }
 
 // OpenOrCreate returns a Backend, creating a zero-length file if needed.
@@ -174,12 +174,15 @@ func (s *Store) Copy(src, dst string, done func()) error {
 type LocalFile struct {
 	store *Store
 	name  string
+	qname string // host-qualified cache key, built once at Open
 }
 
 var _ Backend = (*LocalFile)(nil)
 
-// Name returns the file name qualified by its host.
-func (f *LocalFile) Name() string { return f.store.qualify(f.name) }
+// Name returns the file name qualified by its host. The qualified form
+// doubles as the buffer-cache key of every Read/Write, so it is built
+// once at Open instead of concatenated per operation.
+func (f *LocalFile) Name() string { return f.qname }
 
 // Size returns the current file length.
 func (f *LocalFile) Size() int64 { return f.store.files[f.name] }

@@ -193,10 +193,14 @@ func (s *Series) Rate(since sim.Time) float64 {
 }
 
 // DB is the bounded time-series store: series are created on first
-// write and hold at most the configured history per series.
+// write and hold at most the configured history per series. Canonical
+// keys are interned: the observe path renders the key into a reused
+// scratch buffer and resolves the series through a zero-copy map
+// lookup, so recording to an existing series allocates nothing.
 type DB struct {
 	history int
 	series  map[string]*Series
+	keyBuf  []byte // scratch for canonical-key rendering
 }
 
 // NewDB creates a store keeping history samples per series.
@@ -219,15 +223,57 @@ func (db *DB) upsert(name string, labels []Label) *Series {
 	return s
 }
 
-// Record appends a sample to the series for (name, labels), creating it
-// on first use. Labels are sorted by key before keying.
-func (db *DB) Record(at sim.Time, name string, labels []Label, v float64) {
-	sorted := labels
-	if !sort.SliceIsSorted(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key }) {
-		sorted = append([]Label(nil), labels...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+// labelsSorted reports whether ls is sorted by key — the manual loop
+// sort.SliceIsSorted would run, without boxing the slice or minting a
+// comparison closure on every Record.
+func labelsSorted(ls []Label) bool {
+	for i := 1; i < len(ls); i++ {
+		if ls[i].Key < ls[i-1].Key {
+			return false
+		}
 	}
-	db.upsert(name, sorted).Add(at, v)
+	return true
+}
+
+// Record appends a sample to the series for (name, labels), creating it
+// on first use. Labels are sorted by key before keying. Unlabeled
+// samples — the inline instrumentation hot path — resolve by name
+// directly; labeled samples render their canonical key into the scratch
+// buffer and intern it on first use.
+func (db *DB) Record(at sim.Time, name string, labels []Label, v float64) {
+	if len(labels) == 0 {
+		s := db.series[name]
+		if s == nil {
+			s = &Series{name: name, key: name, data: make([]Point, db.history)}
+			db.series[name] = s
+		}
+		s.Add(at, v)
+		return
+	}
+	sorted := labels
+	if !labelsSorted(labels) {
+		sorted = append([]Label(nil), labels...)
+		sortLabels(sorted)
+	}
+	buf := append(db.keyBuf[:0], name...)
+	buf = append(buf, '{')
+	for i, l := range sorted {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, l.Key...)
+		buf = append(buf, '=')
+		buf = append(buf, l.Value...)
+	}
+	buf = append(buf, '}')
+	db.keyBuf = buf
+	s := db.series[string(buf)] // zero-copy lookup: the conversion does not escape
+	if s == nil {
+		key := string(buf)
+		s = &Series{name: name, labels: sorted, key: key, data: make([]Point, db.history)}
+		db.series[key] = s
+	}
+	s.Add(at, v)
 }
 
 // Lookup returns the series with the exact canonical key, or nil.

@@ -1,10 +1,10 @@
 package vfs
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 
+	"vmgrid/internal/lru"
 	"vmgrid/internal/obs"
 	"vmgrid/internal/retry"
 	"vmgrid/internal/sim"
@@ -130,16 +130,30 @@ func (c Config) validate() error {
 // Client is a per-session proxy: it caches and prefetches blocks from
 // one server over one transport. RPCs are issued one at a time (FIFO),
 // like a synchronous NFS client.
+//
+// The data plane is allocation-free at steady state: RPCs and
+// multi-span reads run through freelisted call/readOp structs whose
+// callbacks are bound once at allocation, the block cache is an
+// intrusive LRU with recycled nodes, and the miss walk reuses
+// client-owned scratch buffers. A fully cached read costs two pooled
+// kernel events and nothing else.
 type Client struct {
 	k   *sim.Kernel
 	t   Transport
 	cfg Config
 
-	lru   *list.List
-	index map[blockKey]*list.Element
+	cache     *lru.Cache[blockKey]
+	capBlocks int
 
-	queue  []func()
+	queue  []*call
+	qhead  int
 	inCall bool
+
+	// fastRPC is set when the retry policy is a single attempt with no
+	// timeout: the RPC then settles exactly once and the pooled call can
+	// carry the span/latency accounting itself, skipping the
+	// closure-per-attempt transact machinery.
+	fastRPC bool
 
 	hits, misses, remoteOps uint64
 	bytesFetched            uint64
@@ -158,11 +172,17 @@ type Client struct {
 	dirty        int64
 	stalled      []stalledWrite
 	flushWaiters []func()
+
+	// freelists and scratch buffers for the zero-alloc read path
+	freeCalls      *call
+	freeReads      *readOp
+	scratchMissing []int64
+	scratchSpans   [][2]int64
 }
 
 type stalledWrite struct {
 	size int64
-	ack  func()
+	ack  func() // the writer's done callback (may be nil)
 }
 
 type blockKey struct {
@@ -178,17 +198,19 @@ func NewClient(k *sim.Kernel, t Transport, cfg Config) (*Client, error) {
 	if cfg.WriteBack && cfg.MaxDirty == 0 {
 		cfg.MaxDirty = 4 << 20
 	}
+	capBlocks := int(cfg.CacheBytes / cfg.Rsize)
 	reg := cfg.Trace.Metrics()
 	return &Client{
-		k:        k,
-		t:        t,
-		cfg:      cfg,
-		lru:      list.New(),
-		index:    make(map[blockKey]*list.Element),
-		mRPCs:    reg.Counter("vfs.rpcs"),
-		mRetries: reg.Counter("vfs.retries"),
-		mErrs:    reg.Counter("vfs.transport-errors"),
-		hRPC:     reg.Histogram("vfs.rpc-latency"),
+		k:         k,
+		t:         t,
+		cfg:       cfg,
+		cache:     lru.New[blockKey](capBlocks),
+		capBlocks: capBlocks,
+		fastRPC:   cfg.Retry.Attempts() <= 1 && cfg.Retry.Timeout == 0,
+		mRPCs:     reg.Counter("vfs.rpcs"),
+		mRetries:  reg.Counter("vfs.retries"),
+		mErrs:     reg.Counter("vfs.transport-errors"),
+		hRPC:      reg.Histogram("vfs.rpc-latency"),
 	}, nil
 }
 
@@ -219,6 +241,160 @@ func (c *Client) Retries() uint64 { return c.retries }
 // vfsBaseBackoff is the historical base backoff applied when the
 // policy leaves Backoff zero.
 const vfsBaseBackoff = 10 * sim.Millisecond
+
+// call is one queued RPC, pooled on the client freelist. Its callbacks
+// are bound once when the struct is first allocated, so a steady-state
+// RPC issues with zero allocations. Exactly one of the three completion
+// shapes applies: owner != nil (read span), wb (write-back drain), or
+// neither (write-through, wdone fires after the ack).
+type call struct {
+	c          *Client
+	op         string
+	file       string
+	off, bytes int64
+
+	owner  *readOp // read span: countdown on the owning read
+	wb     bool    // write-back drain: release dirty bytes on settle
+	wbSize int64
+	wdone  func() // write-through ack
+
+	// fast-path attempt state (unused when the retry policy engages)
+	fast  bool
+	sp    obs.Span
+	began sim.Time
+
+	issueFn  func(func(error)) // bound to issue
+	settleFn func(error)       // bound to settle
+	startFn  func()            // bound to start; what the queue runs
+	nextFree *call
+}
+
+func (c *Client) getCall() *call {
+	l := c.freeCalls
+	if l == nil {
+		l = &call{c: c}
+		l.issueFn = l.issue
+		l.settleFn = l.settle
+		l.startFn = l.start
+		return l
+	}
+	c.freeCalls = l.nextFree
+	l.nextFree = nil
+	return l
+}
+
+func (c *Client) putCall(l *call) {
+	l.op, l.file = "", ""
+	l.off, l.bytes = 0, 0
+	l.owner = nil
+	l.wb, l.wbSize = false, 0
+	l.wdone = nil
+	l.fast = false
+	l.sp = obs.Span{}
+	l.began = 0
+	l.nextFree = c.freeCalls
+	c.freeCalls = l
+}
+
+// start runs when the call reaches the head of the RPC queue.
+func (l *call) start() {
+	c := l.c
+	c.remoteOps++
+	c.mRPCs.Inc()
+	if l.op == "read" {
+		c.bytesFetched += uint64(l.bytes)
+	}
+	if !c.fastRPC {
+		c.transact(l.op, l.issueFn, l.settleFn)
+		return
+	}
+	l.fast = true
+	l.sp = c.cfg.Trace.Begin("vfs", "rpc", l.op)
+	l.began = c.k.Now()
+	l.issue(l.settleFn)
+}
+
+// issue fires the transport RPC with cb as the attempt's completion.
+func (l *call) issue(cb func(error)) {
+	if l.op == "read" {
+		l.c.t.Read(l.file, l.off, l.bytes, cb)
+		return
+	}
+	l.c.t.Write(l.file, l.off, l.bytes, cb)
+}
+
+// settle finishes the RPC: once per call on the fast path, or once from
+// transact after the retry policy resolves.
+func (l *call) settle(err error) {
+	c := l.c
+	if l.fast {
+		l.sp.EndErr(err)
+		c.hRPC.Observe(c.k.Now().Sub(l.began))
+	}
+	c.noteErr(err)
+	switch {
+	case l.owner != nil:
+		o := l.owner
+		c.callDone()
+		c.putCall(l)
+		o.outstanding--
+		if o.outstanding == 0 {
+			done := o.done
+			c.putRead(o)
+			if done != nil {
+				done()
+			}
+		}
+	case l.wb:
+		size := l.wbSize
+		c.putCall(l)
+		c.dirty -= size
+		c.releaseStalled()
+		c.callDone()
+	default:
+		done := l.wdone
+		c.callDone()
+		c.putCall(l)
+		if done != nil {
+			done()
+		}
+	}
+}
+
+// readOp coordinates one Backend read across its missing spans, pooled
+// like call. afterCostFn is the PerOpCost continuation, bound once.
+type readOp struct {
+	c           *Client
+	file        string
+	off, size   int64
+	done        func()
+	outstanding int
+	afterCostFn func()
+	nextFree    *readOp
+}
+
+func (c *Client) getRead() *readOp {
+	o := c.freeReads
+	if o == nil {
+		o = &readOp{c: c}
+		o.afterCostFn = o.afterCost
+		return o
+	}
+	c.freeReads = o.nextFree
+	o.nextFree = nil
+	return o
+}
+
+func (c *Client) putRead(o *readOp) {
+	o.file = ""
+	o.off, o.size = 0, 0
+	o.done = nil
+	o.outstanding = 0
+	o.nextFree = c.freeReads
+	c.freeReads = o
+}
+
+func (o *readOp) afterCost() { o.c.readAfterClientCost(o) }
 
 // transact issues one RPC through the retry policy. issue is invoked
 // once per attempt with that attempt's completion callback; done
@@ -288,47 +464,43 @@ func (c *Client) Open(file string, size int64) *RemoteFile {
 }
 
 // enqueue serializes RPC issue.
-func (c *Client) enqueue(fn func()) {
+func (c *Client) enqueue(l *call) {
 	if c.inCall {
-		c.queue = append(c.queue, fn)
+		c.queue = append(c.queue, l)
 		return
 	}
 	c.inCall = true
-	fn()
+	l.start()
 }
 
 func (c *Client) callDone() {
-	if len(c.queue) == 0 {
+	if c.qhead >= len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qhead = 0
 		c.inCall = false
 		return
 	}
-	next := c.queue[0]
-	c.queue = c.queue[1:]
-	next()
+	next := c.queue[c.qhead]
+	c.queue[c.qhead] = nil
+	c.qhead++
+	next.start()
 }
 
 func (c *Client) cached(key blockKey) bool {
-	if el, ok := c.index[key]; ok {
-		c.lru.MoveToFront(el)
-		return true
-	}
-	return false
+	return c.cache.Touch(key)
 }
 
 func (c *Client) insert(key blockKey) {
 	if c.cfg.CacheBytes < c.cfg.Rsize {
 		return
 	}
-	if c.cached(key) {
+	if c.cache.Touch(key) {
 		return
 	}
-	capBlocks := int(c.cfg.CacheBytes / c.cfg.Rsize)
-	for c.lru.Len() >= capBlocks && c.lru.Len() > 0 {
-		oldest := c.lru.Back()
-		delete(c.index, oldest.Value.(blockKey))
-		c.lru.Remove(oldest)
+	for c.cache.Len() >= c.capBlocks && c.cache.Len() > 0 {
+		c.cache.EvictOldest()
 	}
-	c.index[key] = c.lru.PushFront(key)
+	c.cache.Insert(key)
 }
 
 // RemoteFile is a storage.Backend served by the proxy.
@@ -359,6 +531,10 @@ func (f *RemoteFile) ReadSequential(off, size int64, done func()) {
 	f.client.read(f.file, off, size, done)
 }
 
+// noopAck stands in for a nil writer callback so the ack event can be
+// scheduled without minting a closure.
+func noopAck() {}
+
 // Write implements storage.Backend. Without WriteBack it is a
 // write-through RPC: done fires on the server's acknowledgement. With
 // WriteBack (Figure 2's "write buffers"), done fires once the data is
@@ -378,27 +554,20 @@ func (f *RemoteFile) Write(off, size int64, done func()) {
 		f.size = end
 	}
 
+	l := c.getCall()
+	l.op = "write"
+	l.file = f.file
+	l.off, l.bytes = off, size
+
 	if !c.cfg.WriteBack {
-		c.enqueue(func() {
-			c.remoteOps++
-			c.mRPCs.Inc()
-			c.transact("write", func(cb func(error)) {
-				c.t.Write(f.file, off, size, cb)
-			}, func(err error) {
-				c.noteErr(err)
-				c.callDone()
-				if done != nil {
-					done()
-				}
-			})
-		})
+		l.wdone = done
+		c.enqueue(l)
 		return
 	}
 
-	ack := func() {
-		if done != nil {
-			done()
-		}
+	ack := done
+	if ack == nil {
+		ack = noopAck
 	}
 	if c.dirty+size > c.cfg.MaxDirty && c.dirty > 0 {
 		// Throttle: the ack waits until enough dirty data drains.
@@ -407,18 +576,9 @@ func (f *RemoteFile) Write(off, size int64, done func()) {
 		c.k.After(hitCost, ack)
 	}
 	c.dirty += size
-	c.enqueue(func() {
-		c.remoteOps++
-		c.mRPCs.Inc()
-		c.transact("write", func(cb func(error)) {
-			c.t.Write(f.file, off, size, cb)
-		}, func(err error) {
-			c.noteErr(err)
-			c.dirty -= size
-			c.releaseStalled()
-			c.callDone()
-		})
-	})
+	l.wb = true
+	l.wbSize = size
+	c.enqueue(l)
 }
 
 // releaseStalled acknowledges throttled writers whose data now fits and
@@ -461,14 +621,23 @@ func (c *Client) Flush(done func()) {
 
 // read satisfies [off, off+size) through the cache.
 func (c *Client) read(file string, off, size int64, done func()) {
+	o := c.getRead()
+	o.file, o.off, o.size, o.done = file, off, size, done
 	if c.cfg.PerOpCost > 0 {
-		c.k.After(c.cfg.PerOpCost, func() { c.readAfterClientCost(file, off, size, done) })
+		c.k.After(c.cfg.PerOpCost, o.afterCostFn)
 		return
 	}
-	c.readAfterClientCost(file, off, size, done)
+	c.readAfterClientCost(o)
 }
 
-func (c *Client) readAfterClientCost(file string, off, size int64, done func()) {
+// readAfterClientCost is the post-PerOpCost body of a read: one pass
+// over the covered blocks collects the missing runs into client scratch,
+// a second pass batches them into prefetch-window-aligned spans, and
+// each span becomes one pooled RPC. Both scratch buffers are fully
+// consumed before this returns (the kernel is single-threaded), so they
+// are safe to share across every read on the client.
+func (c *Client) readAfterClientCost(o *readOp) {
+	file, off, size := o.file, o.off, o.size
 	if size <= 0 {
 		size = 1
 	}
@@ -477,7 +646,7 @@ func (c *Client) readAfterClientCost(file string, off, size int64, done func()) 
 	last := (off + size - 1) / rsize
 
 	// Collect the missing block runs.
-	var missing []int64
+	missing := c.scratchMissing[:0]
 	for b := first; b <= last; b++ {
 		if c.cached(blockKey{file: file, block: b}) {
 			c.hits++
@@ -486,7 +655,13 @@ func (c *Client) readAfterClientCost(file string, off, size int64, done func()) 
 			missing = append(missing, b)
 		}
 	}
+	c.scratchMissing = missing
 	if len(missing) == 0 {
+		done := o.done
+		c.putRead(o)
+		if done == nil {
+			done = noopAck
+		}
 		c.k.After(hitCost, done)
 		return
 	}
@@ -496,7 +671,7 @@ func (c *Client) readAfterClientCost(file string, off, size int64, done func()) 
 	if window < 1 {
 		window = 1
 	}
-	var spans [][2]int64 // [startBlock, blockCount]
+	spans := c.scratchSpans[:0]
 	i := 0
 	for i < len(missing) {
 		start := (missing[i] / window) * window
@@ -506,29 +681,21 @@ func (c *Client) readAfterClientCost(file string, off, size int64, done func()) 
 			i++
 		}
 	}
+	c.scratchSpans = spans
 
-	outstanding := len(spans)
+	o.outstanding = len(spans)
 	for _, span := range spans {
 		startBlock, count := span[0], span[1]
 		for b := startBlock; b < startBlock+count; b++ {
 			c.insert(blockKey{file: file, block: b})
 		}
-		bytes := count * rsize
-		c.enqueue(func() {
-			c.remoteOps++
-			c.mRPCs.Inc()
-			c.bytesFetched += uint64(bytes)
-			c.transact("read", func(cb func(error)) {
-				c.t.Read(file, startBlock*rsize, bytes, cb)
-			}, func(err error) {
-				c.noteErr(err)
-				c.callDone()
-				outstanding--
-				if outstanding == 0 && done != nil {
-					done()
-				}
-			})
-		})
+		l := c.getCall()
+		l.op = "read"
+		l.file = file
+		l.off = startBlock * rsize
+		l.bytes = count * rsize
+		l.owner = o
+		c.enqueue(l)
 	}
 }
 

@@ -18,7 +18,7 @@ type world struct {
 	cluster []*hostos.Host
 }
 
-func newWorld(t *testing.T, wan bool) *world {
+func newWorld(t testing.TB, wan bool) *world {
 	t.Helper()
 	k := sim.NewKernel(1)
 	n := netsim.New(k)
