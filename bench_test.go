@@ -182,3 +182,20 @@ func BenchmarkAblationPredictors(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAblationPartition regenerates ablation H: the partition
+// chaos sweep with fenced failover (2 samples x 6 cells per op, every
+// run enforcing the no-lost-write / single-completion / convergence
+// invariants).
+func BenchmarkAblationPartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationPartition(uint64(i+1), 2, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+	reportSamplesPerSec(b, 2*6)
+}

@@ -6,7 +6,7 @@
 //
 //	gridbench [-exp all|fig1|table1|table2|ablation-staging|ablation-cache|
 //	           ablation-sched|ablation-migration|ablation-rps|
-//	           ablation-recovery]
+//	           ablation-recovery|ablation-partition]
 //	          [-seed N] [-samples N] [-parallel N] [-trace out.json]
 //	          [-telemetry out.json]
 //
@@ -211,6 +211,18 @@ func run(args []string) error {
 			emit(experiments.RecoveryTable(rows))
 			return nil
 		},
+		"ablation-partition": func() error {
+			n := 0 // package default replicate count
+			if *samples > 0 {
+				n = *samples
+			}
+			rows, err := experiments.AblationPartition(*seed, n, workers)
+			if err != nil {
+				return err
+			}
+			emit(experiments.PartitionTable(rows))
+			return nil
+		},
 		"ablation-rps": func() error {
 			rows, err := experiments.AblationPredictors(*seed, workers)
 			if err != nil {
@@ -226,7 +238,7 @@ func run(args []string) error {
 			"fig1", "table1", "table2",
 			"ablation-staging", "ablation-cache", "ablation-sched",
 			"ablation-migration", "ablation-overlay", "ablation-rps",
-			"ablation-recovery",
+			"ablation-recovery", "ablation-partition",
 		} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -393,7 +393,20 @@ func printTop(info wire.TopInfo) {
 		if s.VFSRetries > 0 {
 			line += fmt.Sprintf(" vfs-retries=%d", s.VFSRetries)
 		}
+		if s.Epoch > 0 {
+			line += fmt.Sprintf(" epoch=%d", s.Epoch)
+		}
 		fmt.Println(line)
+	}
+	if len(info.Replicas) > 0 {
+		fmt.Println("gis replicas:")
+		for _, r := range info.Replicas {
+			line := fmt.Sprintf("  %-12s lag=%.1fs", r.Node, r.LagSec)
+			if r.LagSec > 0 {
+				line += "  STALE"
+			}
+			fmt.Println(line)
+		}
 	}
 	if len(info.Alerts) == 0 {
 		fmt.Println("alerts: none")

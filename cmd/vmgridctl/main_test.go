@@ -149,6 +149,94 @@ func TestCtlObservability(t *testing.T) {
 	}
 }
 
+// TestCtlReplicatedTop: a daemon running a replicated registry surfaces
+// the replica rows — with lag once a replica is partitioned away from a
+// write — over live TCP, and the split-brain rule is installed.
+func TestCtlReplicatedTop(t *testing.T) {
+	srv := wire.NewServer(1)
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	l := wire.NewLocal(srv)
+	for _, n := range []string{"g1", "g2"} {
+		if err := l.AddNode(wire.AddNodeParams{Name: n, Site: "s", Roles: []string{"data-server"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AddNode(wire.AddNodeParams{Name: "c1", Site: "s", Roles: []string{"compute"},
+		Slots: 1, DHCPPrefix: "10.0.0."}); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{{"c1", "g1"}, {"c1", "g2"}, {"g1", "g2"}} {
+		if err := l.Connect(pair[0], pair[1], "lan"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grid := srv.Grid()
+	if _, err := grid.EnableGISReplication([]string{"c1", "g1", "g2"}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := wire.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	top, err := c.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Replicas) != 3 {
+		t.Fatalf("replica rows = %d, want 3: %+v", len(top.Replicas), top.Replicas)
+	}
+	for _, r := range top.Replicas {
+		if r.LagSec != 0 {
+			t.Fatalf("replica %s lag = %.1fs before any partition", r.Node, r.LagSec)
+		}
+	}
+
+	// Partition g2, advance virtual time (watch frames drive the clock),
+	// and write: the majority takes the record, g2 falls behind.
+	if err := grid.Net().SetNodeUp("g2", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, srv.Addr(), "top", "-n", "3", "-every", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.Info().RegisterFrom("c1", "host", "late-arrival", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	top, err = c.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lagged := 0.0
+	for _, r := range top.Replicas {
+		if r.Node == "g2" {
+			lagged = r.LagSec
+		}
+	}
+	if lagged <= 0 {
+		t.Fatalf("partitioned replica shows no lag: %+v", top.Replicas)
+	}
+
+	alerts, err := c.Alerts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range alerts.Rules {
+		if r.Name == "split-brain-risk" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("split-brain-risk rule not installed: %+v", alerts.Rules)
+	}
+}
+
 // TestCtlTopStreams: multi-frame top uses the watch op and renders every
 // frame; frames advance virtual time on an idle grid.
 func TestCtlTopStreams(t *testing.T) {

@@ -78,6 +78,39 @@ func (g *Grid) Net() *netsim.Network { return g.net }
 // Info returns the information service.
 func (g *Grid) Info() *gis.Service { return g.info }
 
+// EnableGISReplication replicates the information service across the
+// named nodes (which must already be attached and connected): the
+// existing registry becomes replica 0, pinned to nodes[0], and writes
+// from then on require a quorum judged from the originating node.
+// Anti-entropy gossip starts immediately at the given cadence (≤ 0 =
+// gis.DefaultGossipInterval). Call after the topology is built and
+// before injecting faults. With one node this degenerates to the
+// unreplicated behavior every existing experiment is calibrated
+// against.
+func (g *Grid) EnableGISReplication(nodes []string, gossipEvery sim.Duration) (*gis.Cluster, error) {
+	c, err := gis.NewCluster(g.net, g.info, nodes, gossipEvery)
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	return c, nil
+}
+
+// epochGuardAt builds the fencing check a data-plane server at
+// serverNode applies to a session incarnation's operations: reject with
+// gis.ErrFencedEpoch once the session's epoch, as visible to that
+// server, has moved past the incarnation's token. Unreplicated grids
+// consult the single registry; replicated ones consult the first
+// replica reachable from the server (a server that can see no replica
+// cannot validate tokens and admits the op — fencing is only as strong
+// as the information the server can reach).
+func (g *Grid) epochGuardAt(serverNode, session string, token int64) func() error {
+	if c := g.info.Cluster(); c != nil {
+		return c.GuardAt(serverNode, session, token)
+	}
+	return g.info.EpochGuard(session, token)
+}
+
 // Node returns the named node, or nil.
 func (g *Grid) Node(name string) *Node { return g.nodes[name] }
 
@@ -95,6 +128,10 @@ const (
 	// RoleFrontEnd submits sessions on behalf of users.
 	RoleFrontEnd
 )
+
+// advertiseRetry is how long a node waits before re-sending a
+// VM-future advertise that failed to reach a registry quorum.
+const advertiseRetry = 5 * sim.Second
 
 // Node is one machine attached to the grid.
 type Node struct {
@@ -115,10 +152,18 @@ type Node struct {
 	// capacity is the configured slot count, restored on reboot.
 	capacity int
 	crashed  bool
+	// bootEpoch counts reboots. Slot releases captured before a crash
+	// compare it: RebootNode resets slots to capacity wholesale, so a
+	// pre-crash reservation released afterwards would overcount.
+	bootEpoch int
 	// DHCP pool parameters, kept to rebuild the pool after a reboot
 	// (crash loses all leases).
 	dhcpPrefix string
 	dhcpSize   int
+	// adRetry marks a failed VM-future advertise awaiting retry. Slot
+	// changes are the only other trigger, so without the retry a write
+	// lost to a partition would leave the record stale forever.
+	adRetry bool
 }
 
 // NodeConfig describes a node to attach.
@@ -223,7 +268,7 @@ func (n *Node) advertise() {
 		return
 	}
 	spec := n.host.Spec()
-	_ = n.grid.info.Register(gis.KindVMFuture, n.name, map[string]any{
+	err := n.grid.info.RegisterFrom(n.name, gis.KindVMFuture, n.name, map[string]any{
 		gis.AttrSite:      n.site,
 		gis.AttrSlots:     int64(n.slots),
 		gis.AttrSpeed:     spec.CPU.Speed,
@@ -231,6 +276,18 @@ func (n *Node) advertise() {
 		gis.AttrDiskBytes: spec.Disk.CapacityBytes,
 		gis.AttrLoad:      float64(n.host.Runnable()),
 	}, 0)
+	if err == nil || n.adRetry {
+		return
+	}
+	// The origin cannot reach a registry quorum right now (partitioned,
+	// or the registry side is down). The record is soft state: keep
+	// retrying until the write lands, else the grid would keep routing
+	// around this node after the fabric heals.
+	n.adRetry = true
+	n.grid.k.After(advertiseRetry, func() {
+		n.adRetry = false
+		n.advertise()
+	})
 }
 
 // InstallImage archives a VM image on the node and advertises it. Any
@@ -311,6 +368,7 @@ func (g *Grid) RebootNode(name string) error {
 		return nil
 	}
 	n.crashed = false
+	n.bootEpoch++
 	_ = g.net.SetNodeUp(name, true)
 	if n.dhcpPrefix != "" {
 		n.dhcp = vnet.NewDHCP(n.dhcpPrefix, n.dhcpSize)
@@ -318,6 +376,26 @@ func (g *Grid) RebootNode(name string) error {
 	n.slots = n.capacity
 	n.advertise()
 	return nil
+}
+
+// reserveSlot takes a slot on n and returns a release closure that is
+// safe to call after an intervening crash/reboot cycle: reboot restores
+// full capacity, so a stale release must become a no-op instead of
+// minting an extra slot.
+func (n *Node) reserveSlot() (release func()) {
+	n.slots--
+	n.advertise()
+	boot := n.bootEpoch
+	released := false
+	return func() {
+		if released || n.crashed || n.bootEpoch != boot {
+			released = true
+			return
+		}
+		released = true
+		n.slots++
+		n.advertise()
+	}
 }
 
 // sessionsOn returns the live sessions hosted by n in name order (the

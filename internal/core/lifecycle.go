@@ -220,6 +220,7 @@ func (s *Session) restoreFrom(target *Node, writtenPages []int64, finish func(er
 	s.vm = vm
 	s.cow = cow
 	s.mem = mem
+	s.gen++ // new incarnation: fences held by the old one go stale
 
 	if err := vm.Start(vmm.WarmRestore, func(err error) {
 		if err != nil {
@@ -289,15 +290,15 @@ func (s *Session) arrive(target *Node, finish func(error)) {
 		return
 	}
 
-	// Hand over bookkeeping.
-	target.slots--
-	target.advertise()
+	// Hand over bookkeeping. The new slot is reserved through a release
+	// closure so a later crash of either node cannot double-free it.
+	newRelease := target.reserveSlot()
 	if s.addr != "" && oldNode.dhcp != nil {
 		_ = oldNode.dhcp.Release(s.addr)
 		s.addr = ""
 	}
-	oldNode.slots++
-	oldNode.advertise()
+	s.releaseSlot()
+	s.slotRelease = newRelease
 	for _, f := range []string{s.name + ".cow", s.name + ".mem", s.name + ".zeromem"} {
 		if oldNode.store.Has(f) {
 			_ = oldNode.store.Delete(f)
@@ -307,6 +308,7 @@ func (s *Session) arrive(target *Node, finish func(error)) {
 	s.vm = vm
 	s.cow = cow
 	s.mem = mem
+	s.gen++ // new incarnation: fences held by the old one go stale
 
 	if err := vm.Start(vmm.WarmRestore, func(err error) {
 		if err != nil {

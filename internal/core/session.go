@@ -140,6 +140,14 @@ var (
 	// hosting node failed — and which could not (or can no longer) be
 	// recovered by its supervisor.
 	ErrLeaseExpired = errors.New("core: session lease expired")
+	// ErrNoQuorum re-exports the replicated registry's fail-closed write
+	// rejection: the originating node sits on the minority side of a
+	// partition.
+	ErrNoQuorum = gis.ErrNoQuorum
+	// ErrFencedEpoch re-exports the fencing rejection: the operation
+	// carried an epoch token older than the session's current epoch, so
+	// its issuer is a pre-failover zombie.
+	ErrFencedEpoch = gis.ErrFencedEpoch
 )
 
 // Event is one timestamped step of the session life cycle.
@@ -170,7 +178,21 @@ type Session struct {
 	state       State
 	phaseStart  sim.Time
 	crashedAt   sim.Time
+
+	// slotRelease returns the current incarnation's compute slot; it is
+	// crash/reboot-safe (see Node.reserveSlot) and nil once released.
+	slotRelease func()
+	// gen counts incarnations: failover restores and migrations bump it,
+	// which invalidates the previous incarnation's data-plane fences.
+	gen int
+	// epoch is the fencing epoch this incarnation runs under, assigned
+	// by the supervisor through quorum writes (0 = never failed over or
+	// unsupervised).
+	epoch int64
 }
+
+// Epoch returns the session's current fencing epoch.
+func (s *Session) Epoch() int64 { return s.epoch }
 
 // Name returns the session's unique name.
 func (s *Session) Name() string { return s.name }
@@ -357,8 +379,7 @@ func (g *Grid) NewSession(cfg SessionConfig, done func(*Session, error)) (*Sessi
 			return
 		}
 		s.node = g.nodes[futures[0].Name]
-		s.node.slots--
-		s.node.advertise()
+		s.slotRelease = s.node.reserveSlot()
 		s.mark("future-selected")
 
 		// Step 2: locate the image.
@@ -422,11 +443,12 @@ func (g *Grid) NewSession(cfg SessionConfig, done func(*Session, error)) (*Sessi
 }
 
 func (s *Session) releaseSlot() {
-	// A crashed node's slot accounting is reset wholesale at reboot;
-	// releasing into it would double-count.
-	if s.node != nil && !s.node.crashed {
-		s.node.slots++
-		s.node.advertise()
+	// The reservation closure is crash/reboot-safe: a node that crashed
+	// and rebooted since the reservation had its slot accounting reset
+	// wholesale, and the release becomes a no-op.
+	if s.slotRelease != nil {
+		s.slotRelease()
+		s.slotRelease = nil
 	}
 }
 
@@ -560,7 +582,7 @@ func (s *Session) buildBackends(yield func(storage.Backend, *memBackend, error))
 		s.finishCow(base, restoreMem, localMem, yield)
 
 	case AccessOnDemand:
-		client, err := s.grid.vfsClient(node.name, s.imageServer)
+		client, err := s.grid.vfsClient(node.name, s.imageServer, s)
 		if err != nil {
 			yield(nil, nil, err)
 			return
@@ -679,7 +701,15 @@ func (s *Session) connect() error {
 		if err == nil {
 			s.addr = addr
 			s.mark("addr-assigned")
-			return s.attachData()
+			if err := s.attachData(); err != nil {
+				// Hand the fresh lease back: a failed connect leaves no
+				// address behind, so retried failovers cannot drain the
+				// pool one dead lease at a time.
+				_ = s.node.dhcp.Release(addr)
+				s.addr = ""
+				return err
+			}
+			return nil
 		}
 		// Pool exhausted: fall through to tunneling.
 	}
@@ -705,7 +735,7 @@ func (s *Session) attachData() error {
 	if !dataNode.store.Has(s.cfg.DataFile) {
 		return fmt.Errorf("core: data file %q missing on %s", s.cfg.DataFile, s.cfg.DataNode)
 	}
-	client, err := s.grid.vfsClient(s.node.name, s.cfg.DataNode)
+	client, err := s.grid.vfsClient(s.node.name, s.cfg.DataNode, s)
 	if err != nil {
 		return err
 	}
@@ -716,9 +746,46 @@ func (s *Session) attachData() error {
 	return nil
 }
 
+// fence builds the fencing token check for this incarnation's
+// data-plane clients against a server at serverNode. Two layers: a
+// superseded incarnation (a failover restore or migration bumped gen)
+// is fenced unconditionally, and an operation whose epoch token the
+// server's registry view has moved past is rejected with
+// ErrFencedEpoch. Tripping either schedules zombie cleanup through the
+// session's supervisor — the self-termination path of a pre-failover
+// session that outlived its lease.
+func (s *Session) fence(serverNode string) func() error {
+	gen := s.gen
+	token := s.epoch
+	guard := s.grid.epochGuardAt(serverNode, s.name, token)
+	return func() error {
+		if s.gen != gen {
+			return ErrFencedEpoch
+		}
+		if err := guard(); err != nil {
+			s.grid.k.After(0, func() { s.grid.fenceZombies(s.name, token) })
+			return err
+		}
+		return nil
+	}
+}
+
+// fenceZombies asks every supervisor in charge of the named session to
+// clean up the fenced pre-failover incarnation that ran under the
+// given epoch.
+func (g *Grid) fenceZombies(session string, epoch int64) {
+	for _, sup := range g.supervisors {
+		if c := sup.charges[session]; c != nil {
+			sup.fenceZombie(c, epoch)
+		}
+	}
+}
+
 // vfsClient builds a proxy from one node to another, picking the LAN or
-// WAN preset by measured latency.
-func (g *Grid) vfsClient(fromNode, toNode string) (*vfs.Client, error) {
+// WAN preset by measured latency. A non-nil session threads its
+// fencing token into the mount: dirty-block flushes of a superseded
+// incarnation are rejected with ErrFencedEpoch.
+func (g *Grid) vfsClient(fromNode, toNode string, s *Session) (*vfs.Client, error) {
 	target := g.nodes[toNode]
 	if target == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, toNode)
@@ -738,5 +805,8 @@ func (g *Grid) vfsClient(fromNode, toNode string) (*vfs.Client, error) {
 	}
 	cfg.Retry = g.vfsRetry
 	cfg.Trace = g.tracer
+	if s != nil {
+		cfg.Fence = s.fence(toNode)
+	}
 	return vfs.NewClient(g.k, tr, cfg)
 }

@@ -10,6 +10,7 @@ import (
 	"vmgrid/internal/obs"
 	"vmgrid/internal/retry"
 	"vmgrid/internal/sim"
+	"vmgrid/internal/vmm"
 )
 
 // SupervisorConfig tunes the self-healing session supervisor.
@@ -71,6 +72,17 @@ type SupervisorStats struct {
 	RepairSec float64
 	// GivenUp counts charges abandoned after MaxRecoveries.
 	GivenUp int
+	// FencedResults counts task completions delivered by a superseded
+	// incarnation and rejected by the epoch check — each one a double
+	// completion that fencing prevented.
+	FencedResults int
+	// NoQuorumBackoffs counts failover attempts deferred because the
+	// supervisor could not commit the epoch bump to a registry quorum
+	// (it may itself be on the minority side of a partition).
+	NoQuorumBackoffs int
+	// ZombiesFenced counts marooned pre-failover incarnations cleaned up
+	// after they surfaced (a fence trip or a late task result).
+	ZombiesFenced int
 }
 
 // supTask is one supervised workload: the original request plus the
@@ -117,6 +129,31 @@ type charge struct {
 	// lastRenew is when the lease was last refreshed (-1 before the
 	// first renewal) — the telemetry pipeline derives lease.age from it.
 	lastRenew sim.Time
+
+	// epoch is the charge's current fencing epoch: bumped through a
+	// quorum registry write before every failover, captured by each
+	// incarnation's task submissions, and compared in taskDone so a
+	// superseded incarnation's results are rejected.
+	epoch int64
+	// Zombie state: the resources of partitioned-away incarnations,
+	// remembered at failover time and released only when each zombie
+	// surfaces (the supervisor cannot reach through a partition to kill
+	// it). Repeated partitions can maroon several incarnations at once,
+	// so the refs form a list keyed by the fencing epoch the incarnation
+	// held — a surfacing event names its incarnation by that token, and
+	// the others keep their resources until they surface themselves.
+	zombies []zombieRef
+}
+
+// zombieRef remembers what one marooned incarnation held: the VM to
+// power off, the DHCP lease to return, the slot release closure, and
+// the fencing epoch the incarnation ran under (its identity).
+type zombieRef struct {
+	epoch   int64
+	vm      *vmm.VM
+	node    *Node
+	addr    string
+	release func()
 }
 
 func (c *charge) ckptFiles(slot int) (mem, cow string) {
@@ -150,6 +187,21 @@ func NewSupervisor(g *Grid, cfg SupervisorConfig) (*Supervisor, error) {
 
 // Stats returns a snapshot of the supervisor's counters.
 func (sup *Supervisor) Stats() SupervisorStats { return sup.stats }
+
+// view returns the registry replica the supervisor reads: the one
+// pinned to the stable node when the registry is replicated (the
+// supervisor conceptually runs there), else the grid's service. Writes
+// still go through quorum; only reads are local.
+func (sup *Supervisor) view() *gis.Service {
+	if cl := sup.g.info.Cluster(); cl != nil {
+		for i := 0; i < cl.Size(); i++ {
+			if cl.Node(i) == sup.cfg.StableNode {
+				return cl.Replica(i)
+			}
+		}
+	}
+	return sup.g.info
+}
 
 // Adopt places a running session under supervision: registers its
 // lease, takes an immediate baseline checkpoint (so a valid checkpoint
@@ -191,7 +243,8 @@ func (sup *Supervisor) Run(s *Session, w guest.Workload, done func(guest.TaskRes
 		return fmt.Errorf("core: session %q not supervised", s.name)
 	}
 	t := &supTask{w: w, done: done, start: sup.g.k.Now(), remaining: w}
-	task, err := s.RunTask(w, func(res guest.TaskResult) { sup.taskDone(c, t, res) })
+	epoch := c.epoch
+	task, err := s.RunTask(w, func(res guest.TaskResult) { sup.taskDone(c, t, epoch, res) })
 	if err != nil {
 		return err
 	}
@@ -221,15 +274,23 @@ func (sup *Supervisor) Stop() {
 	}
 }
 
-func (sup *Supervisor) renewLease(c *charge) {
+// renewLease refreshes the charge's lease as a write originating at
+// the session's host: against a replicated registry, a partitioned
+// host's renewal fails closed (no quorum) even though the supervisor
+// itself is healthy — that failure is the partition detector.
+func (sup *Supervisor) renewLease(c *charge) bool {
 	host := ""
 	if c.s.node != nil {
 		host = c.s.node.name
 	}
-	_ = sup.g.info.Register(gis.KindLease, c.s.name, map[string]any{
-		gis.AttrHost: host,
-	}, sup.cfg.LeaseTTL)
+	if err := sup.g.info.RegisterFrom(host, gis.KindLease, c.s.name, map[string]any{
+		gis.AttrHost:  host,
+		gis.AttrEpoch: c.epoch,
+	}, sup.cfg.LeaseTTL); err != nil {
+		return false
+	}
 	c.lastRenew = sup.g.k.Now()
+	return true
 }
 
 func (sup *Supervisor) scheduleHeartbeat(c *charge) {
@@ -255,15 +316,44 @@ func (sup *Supervisor) heartbeat(c *charge) {
 		sup.Release(s)
 		return
 	case StateRunning, StateHibernated:
-		sup.renewLease(c)
+		if sup.renewLease(c) {
+			break
+		}
+		// The host cannot reach a registry quorum: it is on the minority
+		// side of a partition. Once the lease expires in the supervisor's
+		// (majority-side) view, fail over — with fencing, because unlike a
+		// crash the old incarnation is still running over there.
+		if !c.recovering {
+			if _, err := sup.view().Lookup(gis.KindLease, s.name); err != nil {
+				sup.partitionFailover(c)
+			}
+		}
 	case StateCrashed:
 		if !c.recovering {
-			if _, err := sup.g.info.Lookup(gis.KindLease, s.name); err != nil {
+			if _, err := sup.view().Lookup(gis.KindLease, s.name); err != nil {
 				sup.failover(c)
 			}
 		}
 	}
+	sup.sweepZombies(c)
 	sup.scheduleHeartbeat(c)
+}
+
+// sweepZombies reclaims marooned incarnations whose host answers
+// again. A zombie that was suspended mid-checkpoint when the partition
+// hit never finishes its task, so no stale result will ever surface it;
+// reachability is the only remaining trigger for taking back its slot
+// and address.
+func (sup *Supervisor) sweepZombies(c *charge) {
+	var ripe []int64
+	for _, z := range c.zombies {
+		if z.node != nil && sup.biReachable(sup.cfg.StableNode, z.node.name) {
+			ripe = append(ripe, z.epoch)
+		}
+	}
+	for _, epoch := range ripe {
+		sup.fenceZombie(c, epoch)
+	}
 }
 
 // progressSec returns a task's absolute user progress right now, in
@@ -296,6 +386,7 @@ func (sup *Supervisor) checkpoint(c *charge, done func(error)) {
 	}
 	c.checkpointing = true
 	suspendedAt := sup.g.k.Now()
+	ep := c.epoch
 	sp := sup.g.tracer.Begin(s.name, "supervisor", "checkpoint")
 	unlock := func(err error) {
 		c.checkpointing = false
@@ -319,6 +410,11 @@ func (sup *Supervisor) checkpoint(c *charge, done func(error)) {
 			spare = 1
 		}
 		sup.stageCheckpoint(c, spare, func(err error) {
+			// A checkpoint begun before a failover must not commit: its
+			// image is the superseded incarnation's state.
+			if err == nil && c.epoch != ep {
+				err = ErrFencedEpoch
+			}
 			if err == nil {
 				c.slot = spare
 				c.ckptPages = pages
@@ -412,13 +508,27 @@ func (sup *Supervisor) failover(c *charge) {
 		sup.g.k.After(sup.cfg.LeaseTTL, func() { c.recovering = false })
 		return
 	}
+	// Fence before the new incarnation can exist: bump the session's
+	// epoch through a quorum write. Failure means the supervisor cannot
+	// prove it holds the majority view (it may itself be partitioned) —
+	// back off rather than risk two live incarnations at the same epoch.
+	ep, err := sup.g.info.BumpEpochFrom(sup.cfg.StableNode, s.name)
+	if err != nil {
+		sup.stats.NoQuorumBackoffs++
+		s.state = StateCrashed
+		c.failSpan.Note("no quorum for epoch bump")
+		c.failSpan.End()
+		sup.g.k.After(sup.cfg.LeaseTTL, func() { c.recovering = false })
+		return
+	}
+	c.epoch = ep
+	s.epoch = ep
+
 	c.recoveries++
-	target.slots--
-	target.advertise()
+	release := target.reserveSlot()
 
 	abort := func(err error) {
-		target.slots++
-		target.advertise()
+		release()
 		s.state = StateCrashed
 		c.failSpan.EndErr(err)
 		sup.g.k.After(sup.cfg.LeaseTTL, func() { c.recovering = false })
@@ -443,7 +553,7 @@ func (sup *Supervisor) failover(c *charge) {
 						abort(err)
 						return
 					}
-					sup.dispatchRestore(c, target)
+					sup.dispatchRestore(c, target, release)
 				}); err != nil {
 				abort(err)
 			}
@@ -452,16 +562,90 @@ func (sup *Supervisor) failover(c *charge) {
 	}
 }
 
+// partitionFailover recovers a charge whose host is partitioned rather
+// than dead: lease renewals from the host fail closed and the lease
+// has expired in the supervisor's majority-side view. Unlike a crash,
+// the old incarnation is still running on the far side — so the epoch
+// is bumped first (refusing to proceed without quorum), and the old
+// incarnation's resources are remembered as zombie state, to be
+// released when it surfaces (a fence trip or a late task result)
+// rather than by reaching through the partition to kill it.
+func (sup *Supervisor) partitionFailover(c *charge) {
+	s := c.s
+	old := c.epoch
+	ep, err := sup.g.info.BumpEpochFrom(sup.cfg.StableNode, s.name)
+	if err != nil {
+		// No quorum from the stable node either: the supervisor itself
+		// may be the minority. Do nothing; the heartbeat re-detects.
+		sup.stats.NoQuorumBackoffs++
+		return
+	}
+	c.epoch = ep
+	s.epoch = ep
+	c.zombies = append(c.zombies, zombieRef{
+		epoch: old, vm: s.vm, node: s.node, addr: s.addr, release: s.slotRelease,
+	})
+	s.slotRelease = nil
+	s.addr = ""
+	s.crashedAt = sup.g.k.Now()
+	s.state = StateCrashed
+	s.mark("partitioned")
+	sup.failover(c)
+}
+
+// fenceZombie releases what the marooned incarnation that ran under
+// the given epoch held, once it has surfaced. Other, still-unsurfaced
+// zombies keep their resources — releasing a slot out from under a VM
+// still running on the far side would mint capacity. Safe to call when
+// no zombie matches.
+func (sup *Supervisor) fenceZombie(c *charge, epoch int64) {
+	kept := c.zombies[:0]
+	fenced := false
+	for _, z := range c.zombies {
+		if z.epoch != epoch {
+			kept = append(kept, z)
+			continue
+		}
+		fenced = true
+		if z.vm != nil {
+			z.vm.PowerOff()
+		}
+		if z.addr != "" && z.node != nil && !z.node.crashed && z.node.dhcp != nil {
+			_ = z.node.dhcp.Release(z.addr)
+		}
+		if z.release != nil {
+			z.release()
+		}
+	}
+	c.zombies = kept
+	if !fenced {
+		return
+	}
+	c.s.mark("fenced")
+	sup.stats.ZombiesFenced++
+	sup.g.tracer.Metrics().Counter("core.zombies-fenced").Inc()
+}
+
 // pickTarget queries the information service for a surviving VM future
 // that holds the session's base image.
 func (sup *Supervisor) pickTarget(s *Session) *Node {
-	futures := sup.g.info.FindFutures(gis.FutureQuery{
+	futures := sup.view().FindFutures(gis.FutureQuery{
 		MinMemBytes: s.cfg.MemBytes,
 		Site:        s.cfg.Site,
 	})
 	for _, e := range futures {
 		n := sup.g.nodes[e.Name]
 		if n == nil || n.crashed || n.gk == nil || n.slots <= 0 {
+			continue
+		}
+		// A partitioned host still advertises a stale future and is not
+		// crashed — but it cannot host the session. Demand reachability
+		// in BOTH directions from the stable node (checkpoint staging
+		// and its acks) and the front end (restore dispatch and its
+		// result): a half-dead node with a muted transmit side would
+		// swallow the replies and hang the failover.
+		if !sup.biReachable(sup.cfg.StableNode, e.Name) ||
+			!sup.biReachable(s.cfg.FrontEnd, e.Name) {
 			continue
 		}
 		if _, ok := n.Image(s.cfg.Image); !ok {
@@ -472,18 +656,34 @@ func (sup *Supervisor) pickTarget(s *Session) *Node {
 	return nil
 }
 
+// biReachable reports whether a and b can currently route to each
+// other in both directions — the requirement for any control-plane
+// exchange that needs a reply.
+func (sup *Supervisor) biReachable(a, b string) bool {
+	if a == b {
+		return true
+	}
+	if _, err := sup.g.net.Latency(a, b, 0); err != nil {
+		return false
+	}
+	if _, err := sup.g.net.Latency(b, a, 0); err != nil {
+		return false
+	}
+	return true
+}
+
 // dispatchRestore submits the restore job through GRAM from the
 // session's front end and, on success, resubmits the remaining work.
-func (sup *Supervisor) dispatchRestore(c *charge, target *Node) {
+// release frees the slot reserved on target if the restore fails.
+func (sup *Supervisor) dispatchRestore(c *charge, target *Node, release func()) {
 	s := c.s
-	front := sup.g.nodes[s.cfg.FrontEnd]
 	abort := func(err error) {
-		target.slots++
-		target.advertise()
+		release()
 		s.state = StateCrashed
 		c.failSpan.EndErr(err)
 		sup.g.k.After(sup.cfg.LeaseTTL, func() { c.recovering = false })
 	}
+	front := sup.g.nodes[s.cfg.FrontEnd]
 	if front == nil || front.crashed {
 		abort(fmt.Errorf("%w: front end %q", ErrUnknownNode, s.cfg.FrontEnd))
 		return
@@ -493,9 +693,19 @@ func (sup *Supervisor) dispatchRestore(c *charge, target *Node) {
 		abort(err)
 		return
 	}
+	ep := c.epoch
 	job := gram.Job{
 		Name: "restore-vm:" + s.name,
 		User: s.cfg.User,
+		// The fencing token rides the job: if a newer failover bumped the
+		// epoch while this dispatch sat in retry backoff, the gatekeeper
+		// rejects the stale restore instead of resurrecting a zombie.
+		Fence: func() error {
+			if c.epoch != ep {
+				return ErrFencedEpoch
+			}
+			return nil
+		},
 		Run: func(jobDone func(error)) {
 			s.restoreFrom(target, c.ckptPages, jobDone)
 		},
@@ -506,6 +716,7 @@ func (sup *Supervisor) dispatchRestore(c *charge, target *Node) {
 			abort(err)
 			return
 		}
+		s.slotRelease = release
 		sup.resume(c)
 	}); err != nil {
 		abort(err)
@@ -540,7 +751,8 @@ func (sup *Supervisor) resume(c *charge) {
 		rem.RootBytes = int64(float64(t.w.RootBytes) * frac)
 		t.remaining = rem
 		t.task = nil
-		task, err := s.RunTask(rem, func(res guest.TaskResult) { sup.taskDone(c, t, res) })
+		epoch := c.epoch
+		task, err := s.RunTask(rem, func(res guest.TaskResult) { sup.taskDone(c, t, epoch, res) })
 		if err != nil {
 			// The restore raced another failure; fail the task rather
 			// than lose it silently.
@@ -558,12 +770,21 @@ func (sup *Supervisor) resume(c *charge) {
 	}
 	c.recovering = false
 	c.lossAccounted = false
-	sup.renewLease(c)
+	_ = sup.renewLease(c)
 }
 
 // taskDone merges an incarnation's result into the original request's
-// frame of reference and delivers it.
-func (sup *Supervisor) taskDone(c *charge, t *supTask, res guest.TaskResult) {
+// frame of reference and delivers it. epoch is the fencing token
+// captured when the task was submitted: a result arriving from a
+// superseded incarnation — the double-completion hazard of partition
+// failover — is rejected, and the zombie that sent it is cleaned up.
+func (sup *Supervisor) taskDone(c *charge, t *supTask, epoch int64, res guest.TaskResult) {
+	if epoch != c.epoch {
+		sup.stats.FencedResults++
+		sup.g.tracer.Metrics().Counter("core.fenced-results").Inc()
+		sup.fenceZombie(c, epoch)
+		return
+	}
 	if t.finished {
 		return
 	}
@@ -574,7 +795,6 @@ func (sup *Supervisor) taskDone(c *charge, t *supTask, res guest.TaskResult) {
 	if t.done != nil {
 		t.done(res)
 	}
-	_ = c
 }
 
 // giveUp abandons recovery: every unfinished task fails with

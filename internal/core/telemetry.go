@@ -41,6 +41,7 @@ func (g *Grid) EnableTelemetry(cfg telemetry.Config) (*telemetry.Collector, erro
 	col.AddSource(g.scrapeNodes)
 	col.AddSource(g.scrapeSessions)
 	col.AddSource(g.scrapeLeases)
+	col.AddSource(g.scrapeGIS)
 	if g.tracer != nil {
 		col.AttachRegistry("grid", g.tracer.Metrics())
 	}
@@ -74,6 +75,10 @@ func (g *Grid) Telemetry() *telemetry.Collector { return g.telemetry }
 //     lease-expiry failure detector (which waits for the 3×hb TTL).
 //   - vfs-retry-storm: the per-session VFS retry counter grows faster
 //     than 5/s over 10 s — a flapping link or dying server.
+//   - split-brain-risk: minority-side registry writes are being
+//     rejected — some node is partitioned from the GIS quorum and its
+//     sessions are failover candidates. (The series only exists on
+//     replicated grids, so the rule is inert otherwise.)
 func (g *Grid) DefaultAlertRules(hb sim.Duration) error {
 	col := g.telemetry
 	if col == nil {
@@ -86,6 +91,7 @@ func (g *Grid) DefaultAlertRules(hb sim.Duration) error {
 		{"slowdown", "mean(session.slowdown, 30s) > 1.10 for 30s"},
 		{"stale-lease", fmt.Sprintf("last(lease.age) > %g", (2 * hb).Seconds())},
 		{"vfs-retry-storm", "rate(vfs.retries, 10s) > 5"},
+		{"split-brain-risk", "rate(gis.minority_writes, 10s) > 0"},
 	}
 	for _, r := range rules {
 		if err := col.AddRule(r.name, r.expr); err != nil {
@@ -177,6 +183,22 @@ func (g *Grid) scrapeLeases(r *telemetry.Recorder) {
 				continue
 			}
 			r.Record("lease.age", r.At().Sub(c.lastRenew).Seconds(), telemetry.L("sess", name))
+			r.Record("session.epoch", float64(c.epoch), telemetry.L("sess", name))
 		}
 	}
+}
+
+// scrapeGIS records replication health when the registry is clustered:
+// per-replica staleness relative to the newest write anywhere
+// (gis.replica.lag) and the running count of quorum-rejected writes
+// (gis.minority_writes) that the split-brain-risk rule watches.
+func (g *Grid) scrapeGIS(r *telemetry.Recorder) {
+	cl := g.info.Cluster()
+	if cl == nil {
+		return
+	}
+	for i := 0; i < cl.Size(); i++ {
+		r.Record("gis.replica.lag", cl.Lag(i).Seconds(), telemetry.L("replica", cl.Node(i)))
+	}
+	r.Record("gis.minority_writes", float64(cl.MinorityWrites()))
 }

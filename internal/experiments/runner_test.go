@@ -213,6 +213,25 @@ func TestAblationRecoveryWorkerInvariant(t *testing.T) {
 	})
 }
 
+func TestAblationPartitionWorkerInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "partition", func(workers int) ([]PartitionRow, error) {
+		return AblationPartition(3, 2, workers)
+	})
+}
+
+// TestAblationPartitionInvariantsAcrossSeeds re-rolls the chaos
+// schedule: every partitionRun enforces the safety invariants (no
+// acked write lost, exactly one completion, post-heal convergence)
+// and surfaces violations as errors, so a clean pass across seeds is
+// the acceptance check itself.
+func TestAblationPartitionInvariantsAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{5, 9, 13} {
+		if _, err := AblationPartition(seed, 1, 8); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
 func TestAblationOverlayWorkerInvariant(t *testing.T) {
 	assertWorkerInvariant(t, "overlay", func(workers int) ([]OverlayRow, error) {
 		return AblationOverlay(3, workers)

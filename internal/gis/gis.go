@@ -34,6 +34,11 @@ const (
 	// it discovers hosts and VMs. Alert entries are registered without a
 	// TTL and deregistered when the alert resolves.
 	KindAlert Kind = "alert"
+	// KindEpoch carries per-session fencing epochs: a monotonic counter
+	// the supervisor bumps through a quorum write before every failover,
+	// so effects of the pre-failover incarnation can be recognized and
+	// rejected (no TTL — epochs must outlive any partition).
+	KindEpoch Kind = "epoch"
 )
 
 // Entry is one registered record. Attrs values are strings, int64s, or
@@ -80,11 +85,29 @@ func (e Entry) Str(key string) string {
 // ErrNotFound is returned by Lookup for missing or expired entries.
 var ErrNotFound = errors.New("gis: not found")
 
+// ErrNoQuorum is returned by writes against a replicated registry when
+// the originating node cannot reach a majority of replicas: the write
+// fails closed rather than diverging on the minority side.
+var ErrNoQuorum = errors.New("gis: no quorum")
+
+// ErrFencedEpoch is returned by epoch guards when an operation carries
+// a fencing token older than the session's current epoch — the caller
+// is a pre-failover zombie whose effects must be rejected.
+var ErrFencedEpoch = errors.New("gis: fenced epoch")
+
 // Service is the registry. Entries are soft state: registrations carry a
 // TTL and vanish unless refreshed, so crashed providers age out.
+//
+// A Service may optionally be one replica of a Cluster (see replica.go),
+// in which case writes route through quorum and reads stay local — the
+// replica keeps serving possibly-stale reads during a partition. A
+// standalone Service (nil cluster) behaves exactly as before.
 type Service struct {
 	k       *sim.Kernel
 	records map[string]Entry
+
+	cluster *Cluster // nil = unreplicated
+	home    string   // netsim node this replica is pinned to
 }
 
 // New creates an empty information service.
@@ -95,11 +118,31 @@ func New(k *sim.Kernel) *Service {
 func key(kind Kind, name string) string { return string(kind) + "/" + name }
 
 // Register adds or refreshes a record. ttl ≤ 0 means no expiry. The
-// attribute map is copied.
+// attribute map is copied. On a replicated registry this is a quorum
+// write originating at the replica's own node and can fail with
+// ErrNoQuorum.
 func (s *Service) Register(kind Kind, name string, attrs map[string]any, ttl sim.Duration) error {
+	return s.RegisterFrom(s.home, kind, name, attrs, ttl)
+}
+
+// RegisterFrom is Register with an explicit originating node: on a
+// replicated registry, quorum reachability is judged from origin, so a
+// partitioned host's refreshes fail closed even when the replica
+// co-located with the caller is healthy. On a standalone Service the
+// origin is ignored.
+func (s *Service) RegisterFrom(origin string, kind Kind, name string, attrs map[string]any, ttl sim.Duration) error {
 	if name == "" {
 		return fmt.Errorf("gis: register %v with empty name", kind)
 	}
+	if s.cluster != nil {
+		return s.cluster.write(origin, kind, name, attrs, ttl, false)
+	}
+	s.apply(kind, name, attrs, ttl)
+	return nil
+}
+
+// apply installs a record locally, bypassing replication.
+func (s *Service) apply(kind Kind, name string, attrs map[string]any, ttl sim.Duration) {
 	cp := make(map[string]any, len(attrs))
 	for k, v := range attrs {
 		cp[k] = v
@@ -109,12 +152,24 @@ func (s *Service) Register(kind Kind, name string, attrs map[string]any, ttl sim
 		e.Expires = s.k.Now().Add(ttl)
 	}
 	s.records[key(kind, name)] = e
-	return nil
 }
 
-// Deregister removes a record (idempotent).
+// Deregister removes a record (idempotent). On a replicated registry a
+// minority-side deregister is silently dropped (the signature predates
+// replication); callers that must know use DeregisterFrom.
 func (s *Service) Deregister(kind Kind, name string) {
+	_ = s.DeregisterFrom(s.home, kind, name)
+}
+
+// DeregisterFrom removes a record through a quorum write originating at
+// the given node, failing with ErrNoQuorum on the minority side of a
+// partition.
+func (s *Service) DeregisterFrom(origin string, kind Kind, name string) error {
+	if s.cluster != nil {
+		return s.cluster.write(origin, kind, name, nil, 0, true)
+	}
 	delete(s.records, key(kind, name))
+	return nil
 }
 
 func (s *Service) live(e Entry) bool {
@@ -224,7 +279,54 @@ const (
 	AttrHost = "host"
 	// AttrLoad is a host's most recent load measurement.
 	AttrLoad = "load"
+	// AttrEpoch is a session's current fencing epoch (KindEpoch records).
+	AttrEpoch = "epoch"
 )
+
+// Epoch returns a session's current fencing epoch as recorded in this
+// replica's view (0 if the session has none yet).
+func (s *Service) Epoch(session string) int64 {
+	e, ok := s.records[key(KindEpoch, session)]
+	if !ok {
+		return 0
+	}
+	return e.Int(AttrEpoch)
+}
+
+// EpochGuard returns a fencing check bound to one session and token:
+// it reports ErrFencedEpoch once the session's epoch in this replica's
+// view has moved past token. The key is precomputed and the closure
+// does one map lookup — cheap enough for data-plane hot paths (vfs
+// flushes, gram submits). Against a replicated registry the guard reads
+// the local replica: a zombie on the minority side trips the fence as
+// soon as anti-entropy delivers the bumped epoch after heal.
+func (s *Service) EpochGuard(session string, token int64) func() error {
+	k := key(KindEpoch, session)
+	return func() error {
+		e, ok := s.records[k]
+		if !ok {
+			return nil
+		}
+		if cur, _ := e.Attrs[AttrEpoch].(int64); cur > token {
+			return ErrFencedEpoch
+		}
+		return nil
+	}
+}
+
+// BumpEpochFrom advances a session's fencing epoch by one through a
+// quorum write originating at the given node and returns the new
+// epoch. On the minority side of a partition it fails with ErrNoQuorum
+// and the epoch is unchanged — a supervisor that cannot prove it holds
+// the majority view must not fence anybody.
+func (s *Service) BumpEpochFrom(origin, session string) (int64, error) {
+	if s.cluster != nil {
+		return s.cluster.BumpEpoch(origin, session)
+	}
+	next := s.Epoch(session) + 1
+	s.apply(KindEpoch, session, map[string]any{AttrEpoch: next}, 0)
+	return next, nil
+}
 
 // FutureQuery describes what a user needs from a VM future.
 type FutureQuery struct {

@@ -53,6 +53,12 @@ type Job struct {
 	User string
 	// Run performs the work; it must invoke done(err) exactly once.
 	Run func(done func(err error))
+	// Fence, when non-nil, is evaluated at the gatekeeper after
+	// authentication and immediately before Run; a non-nil error rejects
+	// the job without running it. Supervisors thread fencing tokens
+	// through it so a restore dispatched before a newer failover cannot
+	// execute against a superseded epoch.
+	Fence func() error
 }
 
 // Gatekeeper accepts jobs at one host, the way a Globus gatekeeper plus
@@ -96,6 +102,14 @@ func (g *Gatekeeper) Submit(job Job, done func(error)) error {
 	proc := g.host.Spawn("gatekeeper:" + job.Name)
 	proc.RunWork(AuthWork, func() {
 		proc.Exit()
+		if job.Fence != nil {
+			if err := job.Fence(); err != nil {
+				if done != nil {
+					done(err)
+				}
+				return
+			}
+		}
 		job.Run(func(err error) {
 			if done != nil {
 				done(err)

@@ -1,0 +1,221 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"vmgrid/internal/sim"
+)
+
+// TestOneWayLinkFlapSkipsUnaffectedRoutes: failing only the c->d
+// direction must invalidate exactly the sources whose BFS tree
+// traversed that directed edge. On the square that is c alone — a and
+// b reach d through a, and d's own tree crosses the link the other way
+// (d->c), which stays healthy.
+func TestOneWayLinkFlapSkipsUnaffectedRoutes(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := square(t, k)
+	primed := n.RouteComputes()
+	if primed != 4 {
+		t.Fatalf("RouteComputes = %d after priming 4 sources, want 4", primed)
+	}
+
+	if err := n.SetLinkDirUp("c", "d", false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every source except c keeps its table — including d, whose direct
+	// d->c route uses the untouched reverse direction.
+	for _, pair := range [][2]string{{"a", "c"}, {"b", "d"}, {"d", "c"}, {"d", "a"}} {
+		delivered := false
+		if err := n.Send(pair[0], pair[1], 1<<10, nil, func(any) { delivered = true }); err != nil {
+			t.Fatalf("%s->%s: %v", pair[0], pair[1], err)
+		}
+		k.Run()
+		if !delivered {
+			t.Fatalf("%s->%s not delivered after one-way flap", pair[0], pair[1])
+		}
+	}
+	if got := n.RouteComputes(); got != primed {
+		t.Errorf("RouteComputes = %d after unaffected sends, want %d (no recompute)", got, primed)
+	}
+
+	// c recomputes once and routes the long way around (c->b->a->d).
+	delivered := false
+	if err := n.Send("c", "d", 1<<10, nil, func(any) { delivered = true }); err != nil {
+		t.Fatalf("c->d: %v", err)
+	}
+	k.Run()
+	if !delivered {
+		t.Fatal("c->d not delivered around the dead direction")
+	}
+	if got := n.RouteComputes(); got != primed+1 {
+		t.Errorf("RouteComputes = %d after c resent, want %d", got, primed+1)
+	}
+
+	// The failure is visibly asymmetric: c->d pays three hops, d->c one.
+	lcd, err := n.Latency("c", "d", 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldc, err := n.Latency("d", "c", 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lcd != 3*ldc {
+		t.Errorf("latency c->d %v, d->c %v: want exactly 3x asymmetry", lcd, ldc)
+	}
+
+	// Correctness cross-check: every pair matches a fresh network built
+	// directly on the degraded (directed) topology.
+	fresh := square(t, sim.NewKernel(1))
+	if err := fresh.SetLinkDirUp("c", "d", false); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{"a", "b", "c", "d"} {
+		for _, dst := range []string{"a", "b", "c", "d"} {
+			if src == dst {
+				continue
+			}
+			got, err1 := n.Latency(src, dst, 1<<10)
+			want, err2 := fresh.Latency(src, dst, 1<<10)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s->%s: %v / %v", src, dst, err1, err2)
+			}
+			if got != want {
+				t.Errorf("%s->%s latency %v after one-way flap, fresh topology gives %v", src, dst, got, want)
+			}
+		}
+	}
+}
+
+// TestOneWayRestoreMatchesFreshSquare: healing the direction restores
+// the original routes regardless of which caches survived the outage.
+func TestOneWayRestoreMatchesFreshSquare(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := square(t, k)
+	if err := n.SetLinkDirUp("c", "d", false); err != nil {
+		t.Fatal(err)
+	}
+	// Recompute c against the degraded topology.
+	if _, err := n.Latency("c", "d", 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetLinkDirUp("c", "d", true); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := square(t, sim.NewKernel(1))
+	for _, src := range []string{"a", "b", "c", "d"} {
+		for _, dst := range []string{"a", "b", "c", "d"} {
+			if src == dst {
+				continue
+			}
+			got, _ := n.Latency(src, dst, 1<<10)
+			want, _ := ref.Latency(src, dst, 1<<10)
+			if got != want {
+				t.Errorf("%s->%s latency %v after restore, want %v", src, dst, got, want)
+			}
+		}
+	}
+}
+
+// TestNodeOneWayMute: an outbound partition silences a node — its sends
+// find no route while inbound traffic still lands — and only the muted
+// node's own table is invalidated.
+func TestNodeOneWayMute(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := square(t, k)
+	primed := n.RouteComputes()
+
+	if err := n.SetNodeDirUp("c", true, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inbound still delivers, with no recompute anywhere: no other
+	// source's tree used a c->* direction.
+	for _, src := range []string{"a", "b", "d"} {
+		delivered := false
+		if err := n.Send(src, "c", 1<<10, nil, func(any) { delivered = true }); err != nil {
+			t.Fatalf("%s->c: %v", src, err)
+		}
+		k.Run()
+		if !delivered {
+			t.Fatalf("%s->c not delivered while c is muted", src)
+		}
+	}
+	if got := n.RouteComputes(); got != primed {
+		t.Errorf("RouteComputes = %d after inbound sends, want %d", got, primed)
+	}
+
+	// Outbound fails with ErrNoRoute after one recompute.
+	err := n.Send("c", "a", 1<<10, nil, func(any) {})
+	if !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("c->a while muted: err %v, want ErrNoRoute", err)
+	}
+	if got := n.RouteComputes(); got != primed+1 {
+		t.Errorf("RouteComputes = %d after muted send, want %d", got, primed+1)
+	}
+
+	// Heal: c speaks again.
+	if err := n.SetNodeDirUp("c", true, true); err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	if err := n.Send("c", "a", 1<<10, nil, func(any) { delivered = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !delivered {
+		t.Fatal("c->a not delivered after heal")
+	}
+}
+
+// TestNodeOneWayDeaf: an inbound partition deafens a node — it can
+// still send (its own outbound tree is untouched, zero recomputes) but
+// nothing reaches it.
+func TestNodeOneWayDeaf(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := square(t, k)
+	primed := n.RouteComputes()
+
+	if err := n.SetNodeDirUp("c", false, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// c's own table survives: a single-hop send to its neighbor b runs
+	// without any recompute. (Multi-hop sends would re-consult the
+	// forwarder's table, which legitimately was invalidated — b's tree
+	// used the now-dead b->c direction.)
+	delivered := false
+	if err := n.Send("c", "b", 1<<10, nil, func(any) { delivered = true }); err != nil {
+		t.Fatalf("c->b: %v", err)
+	}
+	k.Run()
+	if !delivered {
+		t.Fatal("c->b not delivered while c is deaf")
+	}
+	if got := n.RouteComputes(); got != primed {
+		t.Errorf("RouteComputes = %d after deaf node sent, want %d (cache kept)", got, primed)
+	}
+
+	// Everyone else recomputes and finds no way in.
+	for _, src := range []string{"a", "b", "d"} {
+		err := n.Send(src, "c", 1<<10, nil, func(any) {})
+		if !errors.Is(err, ErrNoRoute) {
+			t.Fatalf("%s->c while c is deaf: err %v, want ErrNoRoute", src, err)
+		}
+	}
+
+	if err := n.SetNodeDirUp("c", false, true); err != nil {
+		t.Fatal(err)
+	}
+	delivered = false
+	if err := n.Send("a", "c", 1<<10, nil, func(any) { delivered = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if !delivered {
+		t.Fatal("a->c not delivered after heal")
+	}
+}

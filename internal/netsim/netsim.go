@@ -137,6 +137,61 @@ func (n *Network) SetLinkUp(a, b string, up bool) error {
 	return nil
 }
 
+// SetLinkDirUp marks only the from->to direction of a link up or down —
+// the asymmetric failure shape (half-duplex breakage, unidirectional
+// firewall drops) where from's traffic toward to is lost while to can
+// still reach from. Route invalidation is direction-aware: a one-way
+// failure only discards sources whose BFS tree traversed that exact
+// directed edge.
+func (n *Network) SetLinkDirUp(from, to string, up bool) error {
+	nf := n.nodes[from]
+	if nf == nil || n.nodes[to] == nil {
+		return fmt.Errorf("netsim: set link dir %q->%q: unknown node", from, to)
+	}
+	l := nf.links[to]
+	if l == nil {
+		return fmt.Errorf("netsim: set link dir %q->%q: no such link", from, to)
+	}
+	l.down = !up
+	if up {
+		n.invalidateDirEdgeUp(from, to)
+	} else {
+		n.invalidateDirEdgeDown(from, to)
+	}
+	return nil
+}
+
+// SetNodeDirUp fails (or restores) one direction of every link attached
+// to a node: outbound=true silences the node (it still hears the grid
+// but nothing it sends arrives), outbound=false deafens it (it can send
+// but receives nothing). This is the node-level asymmetric partition —
+// the classic split-brain trigger, where a host keeps serving while the
+// rest of the grid believes it dead.
+func (n *Network) SetNodeDirUp(name string, outbound, up bool) error {
+	nd := n.nodes[name]
+	if nd == nil {
+		return fmt.Errorf("netsim: set node dir %q: unknown node", name)
+	}
+	for peer := range nd.links {
+		var from, to string
+		if outbound {
+			nd.links[peer].down = !up
+			from, to = name, peer
+		} else {
+			if back := n.nodes[peer].links[name]; back != nil {
+				back.down = !up
+			}
+			from, to = peer, name
+		}
+		if up {
+			n.invalidateDirEdgeUp(from, to)
+		} else {
+			n.invalidateDirEdgeDown(from, to)
+		}
+	}
+	return nil
+}
+
 // SetNodeUp fails (or restores) every link attached to a node at once —
 // the network face of a fail-stop node crash. Restoring brings all the
 // node's links up, including any that were downed individually before.
@@ -185,6 +240,38 @@ func (n *Network) invalidateEdgeUp(a, b string) {
 			continue
 		}
 		if oka && okb && da == db {
+			continue
+		}
+		delete(n.routes, src)
+	}
+}
+
+// invalidateDirEdgeDown is the one-direction refinement of
+// invalidateEdgeDown: a failed from->to direction only affects sources
+// whose BFS tree discovered to through from. Trees that crossed the
+// link the other way (parent[from] == to) traversed the still-healthy
+// to->from direction and stay valid.
+func (n *Network) invalidateDirEdgeDown(from, to string) {
+	for src, r := range n.routes {
+		if r.parent[to] == from {
+			delete(n.routes, src)
+		}
+	}
+}
+
+// invalidateDirEdgeUp keeps a source's cache across a restored from->to
+// direction only when a fresh BFS provably reproduces it: either from
+// is unreachable (its adjacency is never scanned), or to was already
+// discovered at a depth ≤ from's (so the scan of from skips the edge).
+// A to exactly one hop deeper than from could tie with the edge's new
+// offer, and tie-breaking depends on scan order — invalidate.
+func (n *Network) invalidateDirEdgeUp(from, to string) {
+	for src, r := range n.routes {
+		df, okf := r.dist[from]
+		if !okf {
+			continue
+		}
+		if dt, okt := r.dist[to]; okt && dt <= df {
 			continue
 		}
 		delete(n.routes, src)

@@ -75,6 +75,12 @@ type Config struct {
 	// Trace, when non-nil, records a span per RPC attempt and the
 	// client's counters into the shared observability layer.
 	Trace *obs.Tracer
+	// Fence, when non-nil, is evaluated before every write RPC is issued
+	// (write-through and write-back drains alike); a non-nil error fails
+	// the RPC without touching the transport. Sessions thread fencing
+	// tokens through it so a superseded incarnation's dirty blocks are
+	// rejected instead of overwriting state owned by its successor.
+	Fence func() error
 }
 
 // Presets matching the paper's three deployment points.
@@ -299,6 +305,12 @@ func (c *Client) putCall(l *call) {
 // start runs when the call reaches the head of the RPC queue.
 func (l *call) start() {
 	c := l.c
+	if l.op != "read" && c.cfg.Fence != nil {
+		if err := c.cfg.Fence(); err != nil {
+			l.settle(err)
+			return
+		}
+	}
 	c.remoteOps++
 	c.mRPCs.Inc()
 	if l.op == "read" {

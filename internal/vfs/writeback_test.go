@@ -1,6 +1,7 @@
 package vfs
 
 import (
+	"fmt"
 	"testing"
 
 	"vmgrid/internal/sim"
@@ -110,5 +111,59 @@ func TestWriteBackConfigValidation(t *testing.T) {
 	}
 	if c.cfg.MaxDirty == 0 {
 		t.Error("MaxDirty default not applied")
+	}
+}
+
+// TestFenceRejectsWrites: a tripped fence fails write RPCs —
+// write-back drains included — without touching the transport, while
+// reads keep flowing (a superseded incarnation may still page in, it
+// just may not mutate shared state).
+func TestFenceRejectsWrites(t *testing.T) {
+	w := newWorld(t, false)
+	tr, _ := NewNetTransport(w.net, "client", "server", w.server)
+	cfg := LANConfig()
+	fenced := false
+	fenceErr := fmt.Errorf("fenced epoch")
+	cfg.Fence = func() error {
+		if fenced {
+			return fenceErr
+		}
+		return nil
+	}
+	c, err := NewClient(w.k, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.Open("data", 1<<20)
+
+	// Open fence: writes drain to the server.
+	f.Write(0, 64<<10, nil)
+	w.k.Run()
+	if !w.sstore.Has("data") {
+		t.Fatal("write with open fence never reached the server")
+	}
+	before := c.TransportErrors()
+
+	// Tripped fence: the drain is rejected locally.
+	fenced = true
+	acked := false
+	f.Write(64<<10, 64<<10, func() { acked = true })
+	w.k.Run()
+	if !acked {
+		t.Fatal("write-back ack must still fire (buffering is local)")
+	}
+	if c.DirtyBytes() != 0 {
+		t.Errorf("dirty = %d, want drained (rejected) after fence trip", c.DirtyBytes())
+	}
+	if c.TransportErrors() != before+1 {
+		t.Errorf("transport errors = %d, want %d (the fenced drain)", c.TransportErrors(), before+1)
+	}
+
+	// Reads are unaffected.
+	readDone := false
+	f.Read(0, 4<<10, func() { readDone = true })
+	w.k.Run()
+	if !readDone {
+		t.Error("read blocked by a write fence")
 	}
 }

@@ -23,6 +23,8 @@ const (
 	CodeUnknownNode    = "unknown-node"
 	CodeLeaseExpired   = "lease-expired"
 	CodeUnknownSession = "unknown-session"
+	CodeNoQuorum       = "no-quorum"
+	CodeFencedEpoch    = "fenced-epoch"
 )
 
 // codeTable pairs each wire code with its sentinel. Order matters only
@@ -38,6 +40,8 @@ var codeTable = []struct {
 	{CodeUnknownNode, core.ErrUnknownNode},
 	{CodeLeaseExpired, core.ErrLeaseExpired},
 	{CodeUnknownSession, ErrUnknownSession},
+	{CodeNoQuorum, core.ErrNoQuorum},
+	{CodeFencedEpoch, core.ErrFencedEpoch},
 }
 
 // ErrorCode maps err to its stable wire code, or "" when err wraps no

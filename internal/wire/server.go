@@ -723,6 +723,7 @@ func (s *Server) top() TopInfo {
 		}
 		row.GuestSec = u.GuestUserSeconds
 		row.WallSeconds = u.WallSeconds
+		row.Epoch = sess.Epoch()
 		var hits, misses, retries uint64
 		for _, c := range []*vfs.Client{sess.DataClient(), sess.ImageClient()} {
 			if c == nil {
@@ -737,6 +738,14 @@ func (s *Server) top() TopInfo {
 		}
 		row.VFSRetries = retries
 		info.Sessions = append(info.Sessions, row)
+	}
+	if cl := s.grid.Info().Cluster(); cl != nil {
+		for i := 0; i < cl.Size(); i++ {
+			info.Replicas = append(info.Replicas, TopReplica{
+				Node:   cl.Node(i),
+				LagSec: cl.Lag(i).Seconds(),
+			})
+		}
 	}
 	for _, f := range s.grid.Telemetry().Active() {
 		info.Alerts = append(info.Alerts, alertInfo(f))

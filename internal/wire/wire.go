@@ -189,6 +189,17 @@ type TopSession struct {
 	VFSRetries  uint64  `json:"vfsRetries,omitempty"`
 	GuestSec    float64 `json:"guestSec,omitempty"`
 	WallSeconds float64 `json:"wallSeconds,omitempty"`
+	Epoch       int64   `json:"epoch,omitempty"` // fencing epoch (0 until first failover)
+}
+
+// TopReplica is one GIS replica row of a top snapshot (present only on
+// grids running a replicated registry).
+type TopReplica struct {
+	Node string `json:"node"`
+	// LagSec is how far the replica's newest entry trails the newest
+	// entry anywhere in the cluster — nonzero while partitioned, zero
+	// again once anti-entropy reconverges.
+	LagSec float64 `json:"lagSec"`
 }
 
 // AlertInfo is one alert firing in top/alerts responses. ResolvedSec is
@@ -214,7 +225,8 @@ type TopInfo struct {
 	Scrapes    int          `json:"scrapes"`
 	Nodes      []TopNode    `json:"nodes"`
 	Sessions   []TopSession `json:"sessions"`
-	Alerts     []AlertInfo  `json:"alerts"` // active firings only
+	Replicas   []TopReplica `json:"replicas,omitempty"` // GIS replicas, if clustered
+	Alerts     []AlertInfo  `json:"alerts"`             // active firings only
 }
 
 // AlertsInfo is the alerts op response: the rule set plus the full
