@@ -15,6 +15,8 @@ import (
 	"testing"
 
 	"vmgrid/internal/experiments"
+	"vmgrid/internal/placement"
+	"vmgrid/internal/sim"
 )
 
 // fig1Samples is the per-scenario sample count the benchmarks use (the
@@ -181,6 +183,55 @@ func BenchmarkAblationPredictors(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPlacement measures the raw placement decision rate: one op
+// runs each built-in policy's Pick over a 64-node candidate pool (the
+// per-create / per-restore / per-balancer-tick hot path). samples/sec
+// here is placement decisions per host second.
+func BenchmarkPlacement(b *testing.B) {
+	rng := sim.NewRNG(1)
+	cands := make([]placement.Candidate, 64)
+	for i := range cands {
+		cands[i] = placement.Candidate{
+			Node:      fmt.Sprintf("node%02d", i),
+			Site:      "a",
+			Slots:     1 + i%4,
+			Speed:     1 + rng.Uniform(0, 1),
+			Load:      rng.Uniform(0, 4),
+			Predicted: rng.Uniform(0, 4),
+		}
+	}
+	req := placement.Request{Session: "vm-bench", User: "bench", Image: "rh72"}
+	policies := []placement.Placer{
+		placement.LeastLoaded{}, placement.PredictedLoad{}, placement.Pack{},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range policies {
+			if _, ok := p.Pick(req, cands); !ok {
+				b.Fatalf("%s: no placement from a full pool", p.Name())
+			}
+		}
+	}
+	reportSamplesPerSec(b, len(policies))
+}
+
+// BenchmarkAblationBalance regenerates ablation I: the policy × balancer
+// sweep over the skewed burst workload (1 sample x 6 arms per op, each
+// arm a full nine-session grid run with telemetry and, in half the arms,
+// the autonomic balancer migrating live sessions).
+func BenchmarkAblationBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationBalance(uint64(i+1), 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+	reportSamplesPerSec(b, 6)
 }
 
 // BenchmarkAblationPartition regenerates ablation H: the partition

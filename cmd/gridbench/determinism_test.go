@@ -53,6 +53,7 @@ func TestOutputsByteIdenticalAcrossParallelism(t *testing.T) {
 		{"table1.golden", []string{"-exp", "table1"}},
 		{"table2_s2.golden", []string{"-exp", "table2", "-samples", "2"}},
 		{"ablation-staging.golden", []string{"-exp", "ablation-staging"}},
+		{"ablation-balance.golden", []string{"-exp", "ablation-balance"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.golden, func(t *testing.T) {

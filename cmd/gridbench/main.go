@@ -6,7 +6,7 @@
 //
 //	gridbench [-exp all|fig1|table1|table2|ablation-staging|ablation-cache|
 //	           ablation-sched|ablation-migration|ablation-rps|
-//	           ablation-recovery|ablation-partition]
+//	           ablation-recovery|ablation-partition|ablation-balance]
 //	          [-seed N] [-samples N] [-parallel N] [-trace out.json]
 //	          [-telemetry out.json]
 //
@@ -223,6 +223,18 @@ func run(args []string) error {
 			emit(experiments.PartitionTable(rows))
 			return nil
 		},
+		"ablation-balance": func() error {
+			n := 0 // package default replicate count
+			if *samples > 0 {
+				n = *samples
+			}
+			rows, err := experiments.AblationBalance(*seed, n, workers)
+			if err != nil {
+				return err
+			}
+			emit(experiments.BalanceTable(rows))
+			return nil
+		},
 		"ablation-rps": func() error {
 			rows, err := experiments.AblationPredictors(*seed, workers)
 			if err != nil {
@@ -238,7 +250,7 @@ func run(args []string) error {
 			"fig1", "table1", "table2",
 			"ablation-staging", "ablation-cache", "ablation-sched",
 			"ablation-migration", "ablation-overlay", "ablation-rps",
-			"ablation-recovery", "ablation-partition",
+			"ablation-recovery", "ablation-partition", "ablation-balance",
 		} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -157,6 +157,8 @@ func run(args []string) error {
 		dataFile := fs.String("data-file", "", "data file")
 		home := fs.String("home", "", "home node for tunneling")
 		site := fs.String("site", "", "preferred site")
+		place := fs.String("place", "", "placement policy: least-loaded, predicted-load, pack (default: registry ranking)")
+		hint := fs.String("node-hint", "", "preferred compute node (not a pin)")
 		if err := fs.Parse(cmdArgs); err != nil {
 			return err
 		}
@@ -165,6 +167,7 @@ func run(args []string) error {
 			Mode: *mode, Disk: *disk, Access: *access,
 			DataNode: *dataNode, DataFile: *dataFile,
 			HomeNode: *home, Site: *site,
+			Place: *place, NodeHint: *hint,
 		})
 		if err != nil {
 			return err

@@ -85,7 +85,7 @@ func run() error {
 	// Place three sessions; they should all steer to calm-host.
 	for i := 0; i < 3; i++ {
 		var sess *core.Session
-		if _, err := g.NewSession(core.SessionConfig{
+		if _, err := g.CreateSession(core.SessionConfig{
 			User: fmt.Sprintf("u%d", i), FrontEnd: "front", Image: "rh72",
 			Mode: vmm.WarmRestore, Disk: core.NonPersistent, Access: core.AccessLocal,
 		}, func(s *core.Session, err error) {

@@ -54,14 +54,16 @@ func run() error {
 		return err
 	}
 
-	// Start the session on host-a (it is advertised first).
+	// Start the session pinned to host-a with a placement hint, so the
+	// owner-reclamation story below plays out on a known machine.
 	var session *core.Session
 	var sessErr error
-	if _, err := g.NewSession(core.SessionConfig{
+	if _, err := g.CreateSession(core.SessionConfig{
 		User: "bob", FrontEnd: "front", Image: "rh72",
 		Mode: vmm.WarmRestore, Disk: core.NonPersistent, Access: core.AccessLocal,
 		DataNode: "data", DataFile: "results",
-	}, func(s *core.Session, err error) { session, sessErr = s, err }); err != nil {
+	}, func(s *core.Session, err error) { session, sessErr = s, err },
+		core.WithNodeHint("host-a")); err != nil {
 		return err
 	}
 	if err := g.Kernel().RunUntil(sim.Time(5 * sim.Minute)); err != nil && !errors.Is(err, sim.ErrStalled) {

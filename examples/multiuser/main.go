@@ -14,6 +14,7 @@ import (
 	"vmgrid/internal/core"
 	"vmgrid/internal/guest"
 	"vmgrid/internal/hw"
+	"vmgrid/internal/placement"
 	"vmgrid/internal/sched"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
@@ -57,13 +58,14 @@ func run() error {
 		}
 	}
 
-	// Users A, B, C each get a session. The sessions land across the
-	// pool; every user sees a dedicated machine.
+	// Users A, B, C each get a session, spread across the pool by the
+	// least-loaded placement policy; every user sees a dedicated
+	// machine.
 	users := []string{"A", "B", "C"}
 	sessions := make(map[string]*core.Session, len(users))
 	for _, user := range users {
 		user := user
-		if _, err := g.NewSession(core.SessionConfig{
+		if _, err := g.CreateSession(core.SessionConfig{
 			User: user, FrontEnd: "F", Image: "rh72",
 			Mode: vmm.WarmRestore, Disk: core.NonPersistent, Access: core.AccessLocal,
 			DataNode: "D", DataFile: "data-" + user,
@@ -76,7 +78,7 @@ func run() error {
 			fmt.Printf("t=%6.1fs  user %s -> VM %s on %s (addr %s, local account %s)\n",
 				g.Kernel().Now().Seconds(), user, s.Name(), s.Node().Name(),
 				s.Addr(), s.LocalUser())
-		}); err != nil {
+		}, core.WithPlacer(placement.LeastLoaded{})); err != nil {
 			return err
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"vmgrid/internal/core"
 	"vmgrid/internal/guest"
 	"vmgrid/internal/hw"
+	"vmgrid/internal/placement"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 	"vmgrid/internal/vmm"
@@ -56,10 +57,12 @@ func run() error {
 	}
 
 	// 4. The session life cycle: query for a future, locate the image,
-	//    instantiate through the grid job manager, get an address.
+	//    instantiate through the grid job manager, get an address. The
+	//    least-loaded placement policy picks the host (with one compute
+	//    node it has an easy job; see examples/multiuser for a pool).
 	var session *core.Session
 	var sessErr error
-	if _, err := g.NewSession(core.SessionConfig{
+	if _, err := g.CreateSession(core.SessionConfig{
 		User:     "alice",
 		FrontEnd: "front",
 		Image:    "rh72",
@@ -68,7 +71,7 @@ func run() error {
 		Access:   core.AccessLocal,   // image already on the host
 	}, func(s *core.Session, err error) {
 		session, sessErr = s, err
-	}); err != nil {
+	}, core.WithPlacer(placement.LeastLoaded{})); err != nil {
 		return err
 	}
 	// The queue may legitimately drain once the fabric goes idle.

@@ -73,7 +73,7 @@ func startSession(t *testing.T, g *Grid, cfg SessionConfig) *Session {
 	var sess *Session
 	var serr error
 	ready := false
-	s, err := g.NewSession(cfg, func(s *Session, err error) {
+	s, err := g.CreateSession(cfg, func(s *Session, err error) {
 		sess, serr = s, err
 		ready = true
 	})
@@ -425,7 +425,7 @@ func TestSessionValidation(t *testing.T) {
 		{User: "a", FrontEnd: "front", Image: "rh72", Mode: vmm.ColdBoot, Disk: NonPersistent, Access: AccessLocal, DataNode: "data"}, // dangling data
 	}
 	for i, cfg := range bad {
-		if _, err := g.NewSession(cfg, nil); err == nil {
+		if _, err := g.CreateSession(cfg, nil); err == nil {
 			t.Errorf("config %d accepted: %+v", i, cfg)
 		}
 	}
@@ -436,7 +436,7 @@ func TestNoFutureFails(t *testing.T) {
 	cfg := baseConfig()
 	cfg.Site = "mars"
 	var got error
-	if _, err := g.NewSession(cfg, func(_ *Session, err error) { got = err }); err != nil {
+	if _, err := g.CreateSession(cfg, func(_ *Session, err error) { got = err }); err != nil {
 		t.Fatal(err)
 	}
 	g.Kernel().Run()
@@ -450,7 +450,7 @@ func TestMissingImageFails(t *testing.T) {
 	cfg := baseConfig()
 	cfg.Image = "windows-xp"
 	var got error
-	if _, err := g.NewSession(cfg, func(_ *Session, err error) { got = err }); err != nil {
+	if _, err := g.CreateSession(cfg, func(_ *Session, err error) { got = err }); err != nil {
 		t.Fatal(err)
 	}
 	g.Kernel().Run()
@@ -469,7 +469,7 @@ func TestSlotsExhaustion(t *testing.T) {
 	}
 	var got error
 	done := false
-	if _, err := g.NewSession(baseConfig(), func(_ *Session, err error) { got = err; done = true }); err != nil {
+	if _, err := g.CreateSession(baseConfig(), func(_ *Session, err error) { got = err; done = true }); err != nil {
 		t.Fatal(err)
 	}
 	_ = g.Kernel().RunUntil(g.Kernel().Now().Add(sim.Hour))
@@ -537,7 +537,7 @@ func TestNoAddressSourceFails(t *testing.T) {
 	}
 	var got error
 	done := false
-	if _, err := g.NewSession(cfg, func(_ *Session, err error) { got = err; done = true }); err != nil {
+	if _, err := g.CreateSession(cfg, func(_ *Session, err error) { got = err; done = true }); err != nil {
 		t.Fatal(err)
 	}
 	_ = g.Kernel().RunUntil(g.Kernel().Now().Add(sim.Hour))

@@ -67,7 +67,7 @@ func TestImageServerPartitionFailsOnDemandSession(t *testing.T) {
 	cfg.Access = AccessOnDemand
 	var got error
 	done := false
-	if _, err := g.NewSession(cfg, func(_ *Session, err error) { got = err; done = true }); err != nil {
+	if _, err := g.CreateSession(cfg, func(_ *Session, err error) { got = err; done = true }); err != nil {
 		t.Fatal(err)
 	}
 	_ = g.Kernel().RunUntil(g.Kernel().Now().Add(sim.Hour))
@@ -108,7 +108,7 @@ func TestTunnelEstablishmentFailsAcrossPartition(t *testing.T) {
 	}
 	var got error
 	done := false
-	if _, err := g.NewSession(cfg, func(_ *Session, err error) { got = err; done = true }); err != nil {
+	if _, err := g.CreateSession(cfg, func(_ *Session, err error) { got = err; done = true }); err != nil {
 		t.Fatal(err)
 	}
 	_ = g.Kernel().RunUntil(g.Kernel().Now().Add(sim.Hour))

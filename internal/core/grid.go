@@ -24,6 +24,7 @@ import (
 	"vmgrid/internal/hw"
 	"vmgrid/internal/netsim"
 	"vmgrid/internal/obs"
+	"vmgrid/internal/placement"
 	"vmgrid/internal/retry"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
@@ -46,9 +47,10 @@ type Grid struct {
 	vfsRetry retry.Policy
 	tracer   *obs.Tracer
 
-	telemetry   *telemetry.Collector
-	monitor     *Monitor
-	supervisors []*Supervisor
+	telemetry     *telemetry.Collector
+	monitor       *Monitor
+	supervisors   []*Supervisor
+	defaultPlacer placement.Placer
 }
 
 // NewGrid creates an empty grid fabric seeded deterministically.

@@ -88,7 +88,7 @@ func (s *Session) Wake(done func(error)) error {
 // base image (read-only base sharing is what keeps migration traffic
 // down to the working set, §3.1).
 func (s *Session) Migrate(targetName string, done func(error)) error {
-	if !s.state.CanMigrate() {
+	if !s.state.CanMigrate() || s.migrating {
 		return fmt.Errorf("%w: migrate in %q", ErrBadSession, s.state)
 	}
 	if s.cow == nil {
@@ -105,13 +105,25 @@ func (s *Session) Migrate(targetName string, done func(error)) error {
 		return fmt.Errorf("%w: base image %q not on target %s", ErrNoImage, s.cfg.Image, targetName)
 	}
 
+	// gen pins the incarnation this migration moves. If the source
+	// crashes mid-transfer and a supervisor failover restores the
+	// session elsewhere (bumping gen), the half-done migration must
+	// abort instead of minting a second live incarnation.
+	gen := s.gen
+	s.migrating = true
 	finish := func(err error) {
+		s.migrating = false
 		if done != nil {
 			done(err)
 		}
 	}
+	superseded := func() bool { return s.gen != gen || !s.state.CanMigrate() }
 
 	transfer := func() {
+		if superseded() {
+			finish(fmt.Errorf("%w: migration superseded mid-transfer", ErrFencedEpoch))
+			return
+		}
 		src := s.node
 		// Move the session state files: memory image and COW diff.
 		memFile := s.name + ".mem"
@@ -140,6 +152,10 @@ func (s *Session) Migrate(targetName string, done func(error)) error {
 					finish(err)
 					return
 				}
+				if superseded() {
+					finish(fmt.Errorf("%w: migration superseded mid-transfer", ErrFencedEpoch))
+					return
+				}
 				s.arrive(target, finish)
 			})
 		})
@@ -162,6 +178,57 @@ func (s *Session) Migrate(targetName string, done func(error)) error {
 	s.mark("migrate-transfer")
 	transfer()
 	return nil
+}
+
+// MigrateFenced is Migrate fenced through the epoch machinery: the
+// session's fencing epoch is bumped through a quorum write (from the
+// front end) before any state moves, so a balancer-initiated migration
+// can never race a partition failover — the failover's own quorum bump
+// supersedes this one, the data-plane guards see the newer epoch, and
+// whichever operation lost the race aborts instead of minting a second
+// live incarnation. Returns ErrNoQuorum without moving anything when
+// the front end sits on the minority side of a partition.
+func (s *Session) MigrateFenced(targetName string, done func(error)) error {
+	if !s.state.CanMigrate() || s.migrating {
+		return fmt.Errorf("%w: fenced migrate in %q", ErrBadSession, s.state)
+	}
+	old := s.epoch
+	ep, err := s.grid.info.BumpEpochFrom(s.cfg.FrontEnd, s.name)
+	if err != nil {
+		return err
+	}
+	s.adoptEpoch(old, ep)
+	return s.Migrate(targetName, func(err error) {
+		if err == nil && s.epoch != ep {
+			// A failover bumped past us while state was in flight; the
+			// internal generation guard should already have aborted, but
+			// never report a superseded migration as success.
+			err = ErrFencedEpoch
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// adoptEpoch moves the session — same incarnation, same guest — to a
+// new fencing epoch at the start of a fenced migration. Supervisors in
+// charge follow to the new epoch and remember the old one as carried:
+// results of tasks submitted under a carried epoch still belong to the
+// one true incarnation (the guest survives a migration) and must not
+// be fenced as zombie results. A real failover clears the carried set,
+// because a new incarnation's history starts from its checkpoint.
+func (s *Session) adoptEpoch(old, ep int64) {
+	s.epoch = ep
+	for _, sup := range s.grid.supervisors {
+		if c := sup.charges[s.name]; c != nil {
+			c.epoch = ep
+			if c.carried == nil {
+				c.carried = make(map[int64]bool)
+			}
+			c.carried[old] = true
+		}
+	}
 }
 
 // restoreFrom re-instantiates a crashed session on target from a
@@ -309,10 +376,18 @@ func (s *Session) arrive(target *Node, finish func(error)) {
 	s.cow = cow
 	s.mem = mem
 	s.gen++ // new incarnation: fences held by the old one go stale
+	myGen := s.gen
 
 	if err := vm.Start(vmm.WarmRestore, func(err error) {
 		if err != nil {
 			finish(err)
+			return
+		}
+		// The target may have crashed (or a failover superseded us)
+		// while the VM was coming up; resuming would resurrect a dead
+		// incarnation.
+		if s.gen != myGen || s.state == StateCrashed || s.state == StateDead {
+			finish(fmt.Errorf("%w: migration superseded at arrival", ErrFencedEpoch))
 			return
 		}
 		if err := s.connect(); err != nil {

@@ -259,7 +259,7 @@ func TestConnectFailureReleasesLease(t *testing.T) {
 	cfg.DataFile = "no-such-dataset"
 	var serr error
 	ready := false
-	if _, err := g.NewSession(cfg, func(_ *Session, err error) {
+	if _, err := g.CreateSession(cfg, func(_ *Session, err error) {
 		serr = err
 		ready = true
 	}); err != nil {

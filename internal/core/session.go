@@ -182,6 +182,12 @@ type Session struct {
 	// slotRelease returns the current incarnation's compute slot; it is
 	// crash/reboot-safe (see Node.reserveSlot) and nil once released.
 	slotRelease func()
+	// priority is the balancer's eviction order (WithPriority): lower
+	// migrates first.
+	priority int
+	// migrating marks a live migration in flight; checkpoints and
+	// further migrations wait it out.
+	migrating bool
 	// gen counts incarnations: failover restores and migrations bump it,
 	// which invalidates the previous incarnation's data-plane fences.
 	gen int
@@ -193,6 +199,9 @@ type Session struct {
 
 // Epoch returns the session's current fencing epoch.
 func (s *Session) Epoch() int64 { return s.epoch }
+
+// Priority returns the session's eviction priority (WithPriority).
+func (s *Session) Priority() int { return s.priority }
 
 // Name returns the session's unique name.
 func (s *Session) Name() string { return s.name }
@@ -335,12 +344,22 @@ func (m *memBackend) Write(off, size int64, done func()) {
 	m.local.Write(off, size, done)
 }
 
-// NewSession runs the Figure 3 life cycle and delivers the ready session
-// (or the first error) to done. The returned session handle is also
-// usable immediately for inspection of progress.
-func (g *Grid) NewSession(cfg SessionConfig, done func(*Session, error)) (*Session, error) {
+// CreateSession runs the Figure 3 life cycle and delivers the ready
+// session (or the first error) to done. The returned session handle is
+// also usable immediately for inspection of progress. Options
+// customize placement and admission: WithPlacer / WithNodeHint steer
+// step 1's node choice through the shared placement path, WithPriority
+// orders balancer evictions, WithFence guards instantiation the way
+// supervisors fence restores. With no options the session places on
+// the information service's first-ranked future, exactly as before the
+// placement subsystem existed.
+func (g *Grid) CreateSession(cfg SessionConfig, done func(*Session, error), opts ...CreateOption) (*Session, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	var o createOptions
+	for _, opt := range opts {
+		opt(&o)
 	}
 	front := g.nodes[cfg.FrontEnd]
 	if front == nil {
@@ -351,11 +370,12 @@ func (g *Grid) NewSession(cfg SessionConfig, done func(*Session, error)) (*Sessi
 	}
 	g.sessions++
 	s := &Session{
-		grid:  g,
-		cfg:   cfg,
-		id:    g.sessions,
-		name:  fmt.Sprintf("sess-%d-%s", g.sessions, cfg.User),
-		state: StatePending,
+		grid:     g,
+		cfg:      cfg,
+		id:       g.sessions,
+		name:     fmt.Sprintf("sess-%d-%s", g.sessions, cfg.User),
+		state:    StatePending,
+		priority: o.priority,
 	}
 	g.tracer.Metrics().Counter("core.sessions.submitted").Inc()
 	s.mark("submitted")
@@ -378,7 +398,12 @@ func (g *Grid) NewSession(cfg SessionConfig, done func(*Session, error)) (*Sessi
 			fail(fmt.Errorf("%w: image %q site %q", ErrNoFuture, cfg.Image, cfg.Site))
 			return
 		}
-		s.node = g.nodes[futures[0].Name]
+		node, err := g.placeFor(cfg, o, futures)
+		if err != nil {
+			fail(err)
+			return
+		}
+		s.node = node
 		s.slotRelease = s.node.reserveSlot()
 		s.mark("future-selected")
 
@@ -402,9 +427,10 @@ func (g *Grid) NewSession(cfg SessionConfig, done func(*Session, error)) (*Sessi
 			}
 			client.SetTracer(g.tracer)
 			job := gram.Job{
-				Name: "start-vm:" + s.name,
-				User: cfg.User,
-				Run:  func(jobDone func(error)) { s.instantiate(jobDone) },
+				Name:  "start-vm:" + s.name,
+				User:  cfg.User,
+				Fence: o.fence,
+				Run:   func(jobDone func(error)) { s.instantiate(jobDone) },
 			}
 			submitErr := client.Submit(s.node.name, job, func(err error) {
 				if err != nil {

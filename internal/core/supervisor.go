@@ -8,6 +8,7 @@ import (
 	"vmgrid/internal/gram"
 	"vmgrid/internal/guest"
 	"vmgrid/internal/obs"
+	"vmgrid/internal/placement"
 	"vmgrid/internal/retry"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/vmm"
@@ -35,6 +36,14 @@ type SupervisorConfig struct {
 	// gives up and fails the session's tasks with ErrLeaseExpired.
 	// Default 8.
 	MaxRecoveries int
+	// Placer ranks restore-target candidates. nil keeps the information
+	// service's ranking (first viable future) — the behavior every
+	// recovery experiment was calibrated against. The candidate list is
+	// built by the grid's shared placement path either way, so the
+	// viability filters (image, slots, bidirectional reachability from
+	// the stable node and the front end) are identical to session
+	// creation and balancer target selection.
+	Placer placement.Placer
 }
 
 func (c *SupervisorConfig) fill() {
@@ -135,6 +144,12 @@ type charge struct {
 	// incarnation's task submissions, and compared in taskDone so a
 	// superseded incarnation's results are rejected.
 	epoch int64
+	// carried marks epochs the one true incarnation previously ran
+	// under: a fenced migration bumps the epoch but keeps the guest, so
+	// task results submitted under a carried epoch are genuine, not
+	// zombie double-completions. Failover clears the set — a new
+	// incarnation's history starts from its checkpoint.
+	carried map[int64]bool
 	// Zombie state: the resources of partitioned-away incarnations,
 	// remembered at failover time and released only when each zombie
 	// surfaces (the supervisor cannot reach through a partition to kill
@@ -347,7 +362,7 @@ func (sup *Supervisor) heartbeat(c *charge) {
 func (sup *Supervisor) sweepZombies(c *charge) {
 	var ripe []int64
 	for _, z := range c.zombies {
-		if z.node != nil && sup.biReachable(sup.cfg.StableNode, z.node.name) {
+		if z.node != nil && sup.g.biReachable(sup.cfg.StableNode, z.node.name) {
 			ripe = append(ripe, z.epoch)
 		}
 	}
@@ -380,7 +395,7 @@ func (sup *Supervisor) checkpoint(c *charge, done func(error)) {
 		}
 	}
 	s := c.s
-	if c.stopped || c.recovering || c.checkpointing || !s.State().CanRun() {
+	if c.stopped || c.recovering || c.checkpointing || s.migrating || !s.State().CanRun() {
 		finish(fmt.Errorf("%w: checkpoint in %q", ErrBadSession, s.State()))
 		return
 	}
@@ -523,6 +538,9 @@ func (sup *Supervisor) failover(c *charge) {
 	}
 	c.epoch = ep
 	s.epoch = ep
+	// Migration-carried epochs died with the old incarnation; results
+	// still in flight under them are now zombie results and must fence.
+	c.carried = nil
 
 	c.recoveries++
 	release := target.reserveSlot()
@@ -582,6 +600,7 @@ func (sup *Supervisor) partitionFailover(c *charge) {
 	}
 	c.epoch = ep
 	s.epoch = ep
+	c.carried = nil
 	c.zombies = append(c.zombies, zombieRef{
 		epoch: old, vm: s.vm, node: s.node, addr: s.addr, release: s.slotRelease,
 	})
@@ -626,50 +645,32 @@ func (sup *Supervisor) fenceZombie(c *charge, epoch int64) {
 	sup.g.tracer.Metrics().Counter("core.zombies-fenced").Inc()
 }
 
-// pickTarget queries the information service for a surviving VM future
-// that holds the session's base image.
+// pickTarget picks the restore target through the grid's shared
+// placement path: candidates come from the supervisor's registry view,
+// filtered for the session's base image and for bidirectional
+// reachability from the stable node (checkpoint staging and its acks)
+// and the front end (restore dispatch and its result) — a partitioned
+// host still advertises a stale future, and a half-dead node with a
+// muted transmit side would swallow the replies and hang the failover.
+// cfg.Placer then ranks what survives; nil keeps registry order.
 func (sup *Supervisor) pickTarget(s *Session) *Node {
 	futures := sup.view().FindFutures(gis.FutureQuery{
 		MinMemBytes: s.cfg.MemBytes,
 		Site:        s.cfg.Site,
 	})
-	for _, e := range futures {
-		n := sup.g.nodes[e.Name]
-		if n == nil || n.crashed || n.gk == nil || n.slots <= 0 {
-			continue
-		}
-		// A partitioned host still advertises a stale future and is not
-		// crashed — but it cannot host the session. Demand reachability
-		// in BOTH directions from the stable node (checkpoint staging
-		// and its acks) and the front end (restore dispatch and its
-		// result): a half-dead node with a muted transmit side would
-		// swallow the replies and hang the failover.
-		if !sup.biReachable(sup.cfg.StableNode, e.Name) ||
-			!sup.biReachable(s.cfg.FrontEnd, e.Name) {
-			continue
-		}
-		if _, ok := n.Image(s.cfg.Image); !ok {
-			continue
-		}
-		return n
+	cands := sup.g.futureCandidates(futures, s.cfg.Image, "",
+		sup.cfg.StableNode, s.cfg.FrontEnd)
+	name, ok := placeWith(sup.cfg.Placer, placement.Request{
+		Session:     s.name,
+		User:        s.cfg.User,
+		Image:       s.cfg.Image,
+		Site:        s.cfg.Site,
+		MinMemBytes: s.cfg.MemBytes,
+	}, cands)
+	if !ok {
+		return nil
 	}
-	return nil
-}
-
-// biReachable reports whether a and b can currently route to each
-// other in both directions — the requirement for any control-plane
-// exchange that needs a reply.
-func (sup *Supervisor) biReachable(a, b string) bool {
-	if a == b {
-		return true
-	}
-	if _, err := sup.g.net.Latency(a, b, 0); err != nil {
-		return false
-	}
-	if _, err := sup.g.net.Latency(b, a, 0); err != nil {
-		return false
-	}
-	return true
+	return sup.g.nodes[name]
 }
 
 // dispatchRestore submits the restore job through GRAM from the
@@ -779,7 +780,7 @@ func (sup *Supervisor) resume(c *charge) {
 // superseded incarnation — the double-completion hazard of partition
 // failover — is rejected, and the zombie that sent it is cleaned up.
 func (sup *Supervisor) taskDone(c *charge, t *supTask, epoch int64, res guest.TaskResult) {
-	if epoch != c.epoch {
+	if epoch != c.epoch && !c.carried[epoch] {
 		sup.stats.FencedResults++
 		sup.g.tracer.Metrics().Counter("core.fenced-results").Inc()
 		sup.fenceZombie(c, epoch)

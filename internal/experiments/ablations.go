@@ -94,7 +94,7 @@ func stagingRun(seed uint64, access core.ImageAccess, workingSet float64) (float
 	}
 
 	var finishedAt sim.Time = -1
-	_, err := g.NewSession(core.SessionConfig{
+	_, err := g.CreateSession(core.SessionConfig{
 		User: "bench", FrontEnd: "front", Image: "rh72",
 		Mode: vmm.WarmRestore, Disk: core.NonPersistent, Access: access,
 	}, func(s *core.Session, err error) {
@@ -460,7 +460,7 @@ func AblationMigration(seed uint64, workers int) ([]MigrationRow, error) {
 		const jobSeconds = 600
 		var doneAt sim.Time = -1
 		var lost float64
-		_, err := g.NewSession(core.SessionConfig{
+		_, err := g.CreateSession(core.SessionConfig{
 			User: "bench", FrontEnd: "front", Image: "rh72", Site: "lan",
 			Mode: vmm.WarmRestore, Disk: core.NonPersistent, Access: core.AccessLocal,
 		}, func(s *core.Session, err error) {
@@ -489,7 +489,7 @@ func AblationMigration(seed uint64, workers int) ([]MigrationRow, error) {
 					lost = 300 - 0 // approximate: all task progress is discarded
 					_ = progress
 					s.Shutdown()
-					_, err := g.NewSession(core.SessionConfig{
+					_, err := g.CreateSession(core.SessionConfig{
 						User: "bench", FrontEnd: "front", Image: "rh72", Site: "lan",
 						Mode: vmm.WarmRestore, Disk: core.NonPersistent, Access: core.AccessLocal,
 					}, func(s2 *core.Session, err error) {

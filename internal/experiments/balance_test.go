@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAblationBalanceImprovesTail is the ablation's headline claim: on
+// the skewed burst workload, turning the balancer on strictly improves
+// the p99 slowdown for the pack policy — the policy that manufactures
+// the worst hotspot — and never does so by parking sessions without
+// migrating (the improvement must come with actual migrations).
+func TestAblationBalanceImprovesTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full balance sweep in -short mode")
+	}
+	rows, err := AblationBalance(3, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byArm := make(map[string]map[bool]BalanceRow)
+	for _, r := range rows {
+		if byArm[r.Policy] == nil {
+			byArm[r.Policy] = make(map[bool]BalanceRow)
+		}
+		byArm[r.Policy][r.Balancer] = r
+	}
+	pack := byArm["pack"]
+	off, on := pack[false], pack[true]
+	if !(on.P99 < off.P99) {
+		t.Errorf("pack: balancer-on p99 %.3f not below balancer-off %.3f", on.P99, off.P99)
+	}
+	if on.Migrations == 0 {
+		t.Error("pack: balancer-on arm reported zero migrations")
+	}
+	if !(on.SpreadLoad < off.SpreadLoad) {
+		t.Errorf("pack: balancer-on spread %.3f not below balancer-off %.3f",
+			on.SpreadLoad, off.SpreadLoad)
+	}
+	for policy, arms := range byArm {
+		if arms[false].Migrations != 0 {
+			t.Errorf("%s: balancer-off arm migrated %.0f times", policy, arms[false].Migrations)
+		}
+		for _, r := range arms {
+			if r.P50 < 1 || r.P99 < r.P50 {
+				t.Errorf("%s balancer=%v: slowdown percentiles p50=%.3f p99=%.3f malformed",
+					policy, r.Balancer, r.P50, r.P99)
+			}
+		}
+	}
+}
+
+// TestAblationBalanceParallelInvariant: the sweep's numbers must be
+// identical at any worker count — the determinism contract every table
+// in the repo honors.
+func TestAblationBalanceParallelInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full balance sweep in -short mode")
+	}
+	w1, err := AblationBalance(7, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w8, err := AblationBalance(7, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w1, w8) {
+		t.Errorf("rows differ between workers=1 and workers=8:\n%+v\n%+v", w1, w8)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	vs := []float64{4, 1, 3, 2}
+	if q := quantile(vs, 0.5); q != 2 {
+		t.Errorf("p50 = %v, want 2", q)
+	}
+	if q := quantile(vs, 0.99); q != 4 {
+		t.Errorf("p99 = %v, want 4", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+	if !reflect.DeepEqual(vs, []float64{4, 1, 3, 2}) {
+		t.Error("quantile mutated its input")
+	}
+}

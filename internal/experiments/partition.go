@@ -183,7 +183,7 @@ func partitionRun(seed uint64, dur sim.Duration, count int) (partitionArm, error
 
 	ready, serr := false, error(nil)
 	var sess *core.Session
-	if _, err := g.NewSession(core.SessionConfig{
+	if _, err := g.CreateSession(core.SessionConfig{
 		User: "bench", FrontEnd: "front", Image: "rh72",
 		Mode: vmm.WarmRestore, Disk: core.NonPersistent, Access: core.AccessLocal,
 	}, func(s *core.Session, err error) { sess, serr, ready = s, err, true }); err != nil {

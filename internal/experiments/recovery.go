@@ -184,7 +184,7 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 
 	ready, serr := false, error(nil)
 	var sess *core.Session
-	if _, err := g.NewSession(core.SessionConfig{
+	if _, err := g.CreateSession(core.SessionConfig{
 		User: "bench", FrontEnd: "front", Image: "rh72",
 		Mode: vmm.WarmRestore, Disk: core.NonPersistent, Access: core.AccessLocal,
 	}, func(s *core.Session, err error) { sess, serr, ready = s, err, true }); err != nil {

@@ -172,7 +172,7 @@ func table2Sample(seed uint64, mode vmm.StartMode, disk core.DiskPolicy, access 
 
 	var ready *core.Session
 	var sessErr error
-	_, err = g.NewSession(core.SessionConfig{
+	_, err = g.CreateSession(core.SessionConfig{
 		User: "bench", FrontEnd: "front", Image: "rh72",
 		Mode: mode, Disk: disk, Access: access,
 	}, func(s *core.Session, err error) {

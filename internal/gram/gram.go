@@ -205,13 +205,6 @@ func (c *Client) Submit(serverNode string, job Job, done func(error)) error {
 	return nil
 }
 
-// RetryPolicy caps SubmitRetry's backoff schedule (base 500 ms when
-// Backoff is zero; values ≤ 1 in MaxAttempts disable retry).
-//
-// Deprecated: RetryPolicy is now an alias for the middleware-wide
-// retry.Policy; construct that type directly.
-type RetryPolicy = retry.Policy
-
 // gramBaseBackoff is the historical base backoff applied when the
 // policy leaves Backoff zero.
 const gramBaseBackoff = 500 * sim.Millisecond

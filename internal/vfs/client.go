@@ -21,23 +21,19 @@ var (
 	ErrTimeout = errors.New("vfs: rpc timeout")
 )
 
-// RetryPolicy adds fault tolerance to a client: each RPC attempt gets a
-// per-op timeout (Policy.Timeout — it must exceed the worst-case RPC
-// service time, queueing included, or healthy-but-slow servers will
+// A retry.Policy adds fault tolerance to a client: each RPC attempt
+// gets a per-op timeout (Policy.Timeout — it must exceed the worst-case
+// RPC service time, queueing included, or healthy-but-slow servers will
 // look dead), and failed or timed-out attempts are reissued with capped
 // exponential backoff (base 10 ms when unset) before the client gives
 // up and reports ErrUnavailable. The zero value keeps the historical
 // behavior: one attempt, no timeout (a lost RPC then hangs forever, so
 // any lossy transport needs a Timeout).
-//
-// Deprecated: RetryPolicy is now an alias for the middleware-wide
-// retry.Policy; construct that type directly.
-type RetryPolicy = retry.Policy
 
 // DefaultRetry is the policy supervised sessions thread through their
 // mounts: generous per-op timeouts so only genuinely lost RPCs reissue.
-func DefaultRetry() RetryPolicy {
-	return RetryPolicy{
+func DefaultRetry() retry.Policy {
+	return retry.Policy{
 		MaxAttempts: 4,
 		Timeout:     5 * sim.Second,
 		Backoff:     50 * sim.Millisecond,

@@ -27,17 +27,8 @@ type Config struct {
 	// that never reached the server are retried; once a request is on
 	// the wire, a lost reply surfaces as an error (resending could
 	// double-execute a non-idempotent operation). The zero policy
-	// inherits the legacy MaxAttempts/Backoff fields below, themselves
-	// defaulting to 4 attempts from 50 ms, capped at 2 s.
+	// defaults to 4 attempts from 50 ms, capped at 2 s.
 	Retry retry.Policy
-	// MaxAttempts bounds attempts per Call when Retry is zero.
-	//
-	// Deprecated: set Retry.MaxAttempts.
-	MaxAttempts int
-	// Backoff is the pre-second-attempt delay when Retry is zero.
-	//
-	// Deprecated: set Retry.Backoff.
-	Backoff time.Duration
 }
 
 // wireBaseBackoff is the historical base backoff applied when the
@@ -50,12 +41,6 @@ func (c *Config) fill() {
 	}
 	if c.CallTimeout <= 0 {
 		c.CallTimeout = 60 * time.Second
-	}
-	if c.Retry.IsZero() {
-		c.Retry = retry.Policy{
-			MaxAttempts: c.MaxAttempts,
-			Backoff:     sim.Duration(c.Backoff.Microseconds()),
-		}
 	}
 	if c.Retry.MaxAttempts <= 0 {
 		c.Retry.MaxAttempts = 4

@@ -15,6 +15,7 @@ import (
 	"vmgrid/internal/guest"
 	"vmgrid/internal/hw"
 	"vmgrid/internal/obs"
+	"vmgrid/internal/placement"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 	"vmgrid/internal/telemetry"
@@ -381,12 +382,16 @@ func (s *Server) handle(op string, params json.RawMessage) (json.RawMessage, err
 		if err != nil {
 			return nil, err
 		}
+		opts, err := sessionOptions(p)
+		if err != nil {
+			return nil, err
+		}
 		var sess *core.Session
 		var sessErr error
 		done := false
-		if _, err := s.grid.NewSession(cfg, func(ss *core.Session, err error) {
+		if _, err := s.grid.CreateSession(cfg, func(ss *core.Session, err error) {
 			sess, sessErr, done = ss, err, true
-		}); err != nil {
+		}, opts...); err != nil {
 			return nil, err
 		}
 		if err := s.pumpUntil(4*sim.Hour, func() bool { return done }); err != nil {
@@ -616,6 +621,23 @@ func sessionConfig(p SessionParams) (core.SessionConfig, error) {
 		return cfg, fmt.Errorf("wire: unknown access %q", p.Access)
 	}
 	return cfg, nil
+}
+
+// sessionOptions maps the wire-level placement knobs onto CreateSession
+// functional options.
+func sessionOptions(p SessionParams) ([]core.CreateOption, error) {
+	var opts []core.CreateOption
+	if p.Place != "" {
+		placer, err := placement.ByName(p.Place)
+		if err != nil {
+			return nil, fmt.Errorf("wire: %v", err)
+		}
+		opts = append(opts, core.WithPlacer(placer))
+	}
+	if p.NodeHint != "" {
+		opts = append(opts, core.WithNodeHint(p.NodeHint))
+	}
+	return opts, nil
 }
 
 func sessionInfo(sess *core.Session) SessionInfo {

@@ -78,6 +78,12 @@ type SessionParams struct {
 	DataNode string `json:"dataNode,omitempty"`
 	DataFile string `json:"dataFile,omitempty"`
 	HomeNode string `json:"homeNode,omitempty"`
+	// Place names the placement policy ("least-loaded", "predicted-load",
+	// "pack"); empty keeps the information service's ranking.
+	Place string `json:"place,omitempty"`
+	// NodeHint prefers the named compute node when it is a viable
+	// candidate (a preference, not a pin).
+	NodeHint string `json:"nodeHint,omitempty"`
 }
 
 // SessionInfo describes a session in responses.

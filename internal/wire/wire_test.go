@@ -128,6 +128,40 @@ func TestEndToEndSessionOverTCP(t *testing.T) {
 	}
 }
 
+func TestPlacementParamsOverTCP(t *testing.T) {
+	c := startServer(t)
+	buildFabric(t, c)
+	hinted, err := c.NewSession(SessionParams{
+		User: "alice", FrontEnd: "front", Image: "rh72",
+		Mode: "restore", Disk: "non-persistent", Access: "local",
+		NodeHint: "compute2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hinted.Node != "compute2" {
+		t.Errorf("hinted session on %q, want compute2", hinted.Node)
+	}
+	placed, err := c.NewSession(SessionParams{
+		User: "bob", FrontEnd: "front", Image: "rh72",
+		Mode: "restore", Disk: "non-persistent", Access: "local",
+		Place: "least-loaded",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed.Node == "" {
+		t.Error("placed session reports no node")
+	}
+	if _, err := c.NewSession(SessionParams{
+		User: "eve", FrontEnd: "front", Image: "rh72",
+		Mode: "restore", Disk: "non-persistent", Access: "local",
+		Place: "warp-speed",
+	}); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("unknown policy error = %v", err)
+	}
+}
+
 func TestMigrateOverTCP(t *testing.T) {
 	c := startServer(t)
 	buildFabric(t, c)
