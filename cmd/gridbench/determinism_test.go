@@ -38,6 +38,30 @@ func captureRun(t *testing.T, args ...string) string {
 	return out
 }
 
+// TestCriticalPathTableByteIdenticalAcrossParallelism runs Table 2 with
+// tracing on at -parallel 1 and 8 and requires the whole stdout —
+// Table 2 itself, the per-phase table, and the critical-path
+// attribution table — to match byte for byte. Causal ids are seeded
+// from each sample's simulation seed and attribution is a pure function
+// of the spans, so the fan-out schedule must not leak into any of it.
+func TestCriticalPathTableByteIdenticalAcrossParallelism(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	args := []string{"-exp", "table2", "-samples", "2", "-trace", trace}
+	p1 := captureRun(t, append(args, "-parallel", "1")...)
+	p8 := captureRun(t, append(args, "-parallel", "8")...)
+	if p1 != p8 {
+		t.Error("traced table2 output differs between -parallel 1 and -parallel 8")
+	}
+	if !strings.Contains(p1, "Critical-path attribution") {
+		t.Error("output lacks the critical-path attribution table")
+	}
+	for _, res := range []string{"cpu", "phase"} {
+		if !strings.Contains(p1, res) {
+			t.Errorf("critical-path table never attributes to %q:\n%s", res, p1)
+		}
+	}
+}
+
 // TestOutputsByteIdenticalAcrossParallelism regenerates Table 1,
 // Table 2, and Ablation A at -parallel 1 and -parallel 8 and requires
 // the tables to match the committed goldens byte for byte. This is the

@@ -17,8 +17,17 @@
 // -trace records the fig1 and table2 samples with the obs layer and
 // writes one Chrome trace-event JSON file (load it in chrome://tracing
 // or Perfetto), plus a per-phase latency table decomposing each cell's
-// startup wall clock. The trace bytes, like the tables, are identical
-// at every -parallel value.
+// startup wall clock and a critical-path attribution table: a
+// deepest-cover walk of every session's causal span tree, attributing
+// each cell's startup seconds to resources (vfs-wait, cpu, rpc,
+// staging, ...). The trace bytes, like the tables, are identical at
+// every -parallel value.
+//
+// -incidents runs the ablation-recovery sweep with a flight recorder on
+// every grid and writes one deterministic JSON file of the incident
+// bundles — one "recovery" incident per failover, each sealed with a
+// postmortem report attributing the outage to detection, restore, and
+// replay. Only ablation-recovery records incidents.
 //
 // -telemetry runs the fig1 and table2 samples with the telemetry
 // pipeline attached — per-second scrapes of the node, session, and
@@ -38,6 +47,7 @@ import (
 
 	"vmgrid/internal/experiments"
 	"vmgrid/internal/obs"
+	"vmgrid/internal/sim"
 	"vmgrid/internal/telemetry"
 )
 
@@ -57,6 +67,7 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "worker goroutines per experiment (0 = one per CPU)")
 	tracePath := fs.String("trace", "", "write Chrome trace JSON of fig1/table2 samples to this file")
 	telemetryPath := fs.String("telemetry", "", "write telemetry time-series/alert JSON of fig1/table2 samples to this file")
+	incidentsPath := fs.String("incidents", "", "write incident-bundle JSON of ablation-recovery runs to this file")
 	pprofPath := fs.String("pprof", "", "write a CPU profile of the run to this file (go tool pprof)")
 	pprofMemPath := fs.String("pprof-mem", "", "write an allocation profile at exit to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
@@ -98,6 +109,10 @@ func run(args []string) error {
 	var telemetrySet *telemetry.Set
 	if *telemetryPath != "" {
 		telemetrySet = telemetry.NewSet()
+	}
+	var incidentSet *obs.IncidentSet
+	if *incidentsPath != "" {
+		incidentSet = obs.NewIncidentSet()
 	}
 	var emit func(*experiments.Table)
 	switch *format {
@@ -204,7 +219,13 @@ func run(args []string) error {
 			if *samples > 0 {
 				n = *samples
 			}
-			rows, err := experiments.AblationRecovery(*seed, n, workers)
+			var rows []experiments.RecoveryRow
+			var err error
+			if incidentSet != nil {
+				rows, err = experiments.AblationRecoveryIncidents(*seed, n, workers, incidentSet)
+			} else {
+				rows, err = experiments.AblationRecovery(*seed, n, workers)
+			}
 			if err != nil {
 				return err
 			}
@@ -259,7 +280,10 @@ func run(args []string) error {
 		if err := writeTrace(traceSet, *tracePath, emit); err != nil {
 			return err
 		}
-		return writeTelemetry(telemetrySet, *telemetryPath)
+		if err := writeTelemetry(telemetrySet, *telemetryPath); err != nil {
+			return err
+		}
+		return writeIncidents(incidentSet, *incidentsPath)
 	}
 	runner, ok := runners[*exp]
 	if !ok {
@@ -276,12 +300,16 @@ func run(args []string) error {
 	if err := writeTrace(traceSet, *tracePath, emit); err != nil {
 		return err
 	}
-	return writeTelemetry(telemetrySet, *telemetryPath)
+	if err := writeTelemetry(telemetrySet, *telemetryPath); err != nil {
+		return err
+	}
+	return writeIncidents(incidentSet, *incidentsPath)
 }
 
 // writeTrace dumps the collected trace set as Chrome trace-event JSON
-// and prints the per-phase latency decomposition. A no-op without
-// -trace or when the selected experiment recorded nothing.
+// and prints the per-phase latency decomposition plus the critical-path
+// attribution. A no-op without -trace or when the selected experiment
+// recorded nothing.
 func writeTrace(ts *obs.TraceSet, path string, emit func(*experiments.Table)) error {
 	if ts == nil {
 		return nil
@@ -302,7 +330,34 @@ func writeTrace(ts *obs.TraceSet, path string, emit func(*experiments.Table)) er
 		return err
 	}
 	emit(phaseTable(ts))
+	emit(criticalPathTable(ts))
 	fmt.Printf("# trace: %d samples -> %s\n", ts.Len(), path)
+	return nil
+}
+
+// writeIncidents dumps the collected incident set as deterministic
+// JSON. A no-op without -incidents or when the selected experiment
+// recorded nothing.
+func writeIncidents(is *obs.IncidentSet, path string) error {
+	if is == nil {
+		return nil
+	}
+	if is.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "gridbench: -incidents set but the selected experiment records no incidents (only ablation-recovery does)")
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := is.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("# incidents: %d bundles over %d runs -> %s\n", is.Total(), is.Len(), path)
 	return nil
 }
 
@@ -379,6 +434,61 @@ func phaseTable(ts *obs.TraceSet) *experiments.Table {
 			fmt.Sprintf("%.3f", mean),
 			fmt.Sprintf("%.3f", r.stat.Max.Seconds()),
 			fmt.Sprintf("%.3f", r.stat.Total.Seconds()),
+		})
+	}
+	return t
+}
+
+// criticalPathTable runs the postmortem analyzer over every recorded
+// sample: each session root's causal tree is walked deepest-cover, and
+// the resulting attributions are summed per experiment cell. Entries are
+// visited in Add order and attributions are pre-sorted by the analyzer,
+// so the rows — like every gridbench table — are identical at any
+// -parallel value.
+func criticalPathTable(ts *obs.TraceSet) *experiments.Table {
+	t := &experiments.Table{
+		Title:  "Critical-path attribution (simulated seconds)",
+		Note:   "deepest-cover walk of each session's causal span tree; self time summed over a cell's samples",
+		Header: []string{"cell", "resource", "cat", "name", "self", "share"},
+	}
+	type key struct{ cell, resource, cat, name string }
+	idx := map[key]int{}
+	type row struct {
+		key  key
+		self sim.Duration
+	}
+	var rows []row
+	total := map[string]sim.Duration{}
+	for _, e := range ts.Entries() {
+		spans := e.Tracer.Spans()
+		cell := cellOf(e.Label)
+		for _, root := range obs.Roots(spans) {
+			rep := obs.Analyze(spans, obs.SpanContext{Trace: root.Trace, Span: root.ID})
+			if rep == nil {
+				continue
+			}
+			total[cell] += rep.TotalUs
+			for _, a := range rep.Attribution {
+				k := key{cell, a.Resource, a.Cat, a.Name}
+				i, ok := idx[k]
+				if !ok {
+					i = len(rows)
+					idx[k] = i
+					rows = append(rows, row{key: k})
+				}
+				rows[i].self += a.SelfUs
+			}
+		}
+	}
+	for _, r := range rows {
+		share := 0.0
+		if total[r.key.cell] > 0 {
+			share = float64(r.self) / float64(total[r.key.cell])
+		}
+		t.Rows = append(t.Rows, []string{
+			r.key.cell, r.key.resource, r.key.cat, r.key.name,
+			fmt.Sprintf("%.3f", r.self.Seconds()),
+			fmt.Sprintf("%.1f%%", share*100),
 		})
 	}
 	return t

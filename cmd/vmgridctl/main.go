@@ -25,12 +25,23 @@
 //	query      -kind host|vm-future|vm|image-server|data-server|alert
 //	metrics
 //	spans      [-cat C]
+//	trace      SESSION   (or -session S)
+//	incidents
+//	incident   ID        (or -id I)
 //	top        [-n FRAMES] [-every SECONDS]
 //	alerts
 //
 // top renders a live text dashboard of the served grid: one frame per
 // node/session table plus the firing alerts, streamed -n times with
 // -every virtual seconds between frames (one frame by default).
+//
+// trace prints one session's causal span tree (client RPC spans nested
+// under the phases that issued them, server-side handler spans under
+// the RPCs that carried them) followed by the postmortem: the critical
+// path through the session's lifecycle and the attribution of its
+// duration to resources (vfs-wait, cpu, migration, quorum-write, ...).
+// incidents lists the flight recorder's frozen bundles; incident dumps
+// one bundle — ring context, causal capture, and postmortem report.
 package main
 
 import (
@@ -315,6 +326,80 @@ func run(args []string) error {
 		}
 		return nil
 
+	case "trace":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		session := fs.String("session", "", "session name")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		if *session == "" && fs.NArg() > 0 {
+			*session = fs.Arg(0)
+		}
+		info, err := c.Trace(*session)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("session %s  trace %s  (%d spans)\n", info.Session, info.Trace, len(info.Spans))
+		printSpanTree(info.Spans)
+		printReport(info.Report)
+		return nil
+
+	case "incidents":
+		rows, err := c.Incidents()
+		if err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			fmt.Println("incidents: none")
+			return nil
+		}
+		for _, r := range rows {
+			state := "OPEN"
+			if r.Sealed {
+				state = fmt.Sprintf("sealed at %.1fs", r.SealedSec)
+			}
+			line := fmt.Sprintf("%-24s %10.1fs  %-16s %-24s %s",
+				r.ID, r.AtSec, r.Trigger, r.Subject, state)
+			if r.Causal > 0 {
+				line += fmt.Sprintf("  causal=%d", r.Causal)
+			}
+			if r.Root != "" {
+				line += "  root=" + r.Root
+			}
+			fmt.Println(line)
+		}
+		return nil
+
+	case "incident":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		id := fs.String("id", "", "incident id")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		if *id == "" && fs.NArg() > 0 {
+			*id = fs.Arg(0)
+		}
+		inc, err := c.Incident(*id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("incident %s\n", inc.ID)
+		fmt.Printf("  trigger: %s\n", inc.Trigger)
+		fmt.Printf("  subject: %s\n", inc.Subject)
+		fmt.Printf("  at:      %.3fs\n", inc.At.Seconds())
+		if inc.Sealed() {
+			fmt.Printf("  sealed:  %.3fs\n", inc.SealedAt.Seconds())
+		} else {
+			fmt.Println("  sealed:  (still open)")
+		}
+		fmt.Printf("  context: %d spans in the flight ring at trigger\n", len(inc.Context))
+		if len(inc.Causal) > 0 {
+			fmt.Printf("causal capture (%d spans):\n", len(inc.Causal))
+			printSpanTree(inc.Causal)
+		}
+		printReport(inc.Report)
+		return nil
+
 	case "top":
 		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 		frames := fs.Int("n", 1, "frames to stream")
@@ -419,6 +504,77 @@ func printTop(info wire.TopInfo) {
 	for _, f := range info.Alerts {
 		fmt.Printf("  FIRING %-18s %-40s since=%.1fs value=%g\n",
 			f.Rule, f.Series, f.AtSec, f.Value)
+	}
+}
+
+// printSpanTree renders spans as a tree using causal parent links:
+// children indent under the span that caused them, siblings order by
+// start time. Spans whose parent is absent (or zero) print as roots.
+func printSpanTree(spans []obs.SpanRecord) {
+	present := make(map[obs.SpanID]bool, len(spans))
+	for _, sp := range spans {
+		if sp.ID != 0 {
+			present[sp.ID] = true
+		}
+	}
+	children := make(map[obs.SpanID][]int)
+	var roots []int
+	for i, sp := range spans {
+		if sp.Parent != 0 && sp.Parent != sp.ID && present[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.SliceStable(idx, func(a, b int) bool { return spans[idx[a]].Start < spans[idx[b]].Start })
+	}
+	byStart(roots)
+	for _, kids := range children {
+		byStart(kids)
+	}
+	var emit func(i, depth int)
+	emit = func(i, depth int) {
+		sp := spans[i]
+		mark := fmt.Sprintf("%10.3fs %10.3fs", sp.Start.Seconds(), sp.Dur().Seconds())
+		if sp.Instant {
+			mark = fmt.Sprintf("%10.3fs %10s", sp.Start.Seconds(), "-")
+		}
+		line := fmt.Sprintf("%s  %s%s/%s", mark, strings.Repeat("  ", depth), sp.Cat, sp.Name)
+		if sp.Track != "" {
+			line += "  [" + sp.Track + "]"
+		}
+		if sp.Note != "" {
+			line += "  (" + sp.Note + ")"
+		}
+		fmt.Println(line)
+		for _, k := range children[sp.ID] {
+			emit(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		emit(r, 0)
+	}
+}
+
+// printReport renders a postmortem: the critical path through the root
+// interval and the resource attribution derived from it.
+func printReport(rep *obs.Report) {
+	if rep == nil {
+		return
+	}
+	fmt.Printf("postmortem: %s/%s  %.3fs..%.3fs  total %.3fs\n",
+		rep.RootCat, rep.Root, rep.StartUs.Seconds(), rep.EndUs.Seconds(), rep.TotalUs.Seconds())
+	fmt.Println("critical path:")
+	for _, st := range rep.Critical {
+		fmt.Printf("  %10.3fs %10.3fs  %s%s/%s  [%s]\n",
+			st.StartUs.Seconds(), st.Dur().Seconds(),
+			strings.Repeat("  ", st.Depth), st.Cat, st.Name, st.Resource)
+	}
+	fmt.Println("attribution:")
+	for _, a := range rep.Attribution {
+		fmt.Printf("  %-14s %-11s %-26s %10.3fs %5.1f%%\n",
+			a.Resource, a.Cat, a.Name, a.SelfUs.Seconds(), a.Share*100)
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 // nodes.
 type Grid struct {
 	k        *sim.Kernel
+	seed     uint64
 	net      *netsim.Network
 	info     *gis.Service
 	registry *gram.Registry
@@ -46,6 +47,7 @@ type Grid struct {
 	live     map[string]*Session
 	vfsRetry retry.Policy
 	tracer   *obs.Tracer
+	recorder *obs.FlightRecorder
 
 	telemetry     *telemetry.Collector
 	monitor       *Monitor
@@ -58,6 +60,7 @@ func NewGrid(seed uint64) *Grid {
 	k := sim.NewKernel(seed)
 	return &Grid{
 		k:        k,
+		seed:     seed,
 		net:      netsim.New(k),
 		info:     gis.New(k),
 		registry: gram.NewRegistry(),
@@ -214,6 +217,7 @@ func (g *Grid) AddNode(cfg NodeConfig) (*Node, error) {
 	g.net.AddNode(cfg.Name)
 	if cfg.Role&RoleCompute != 0 {
 		n.gk = gram.NewGatekeeper(host)
+		n.gk.SetTracer(g.tracer)
 		g.registry.Add(cfg.Name, n.gk)
 		if n.slots <= 0 {
 			n.slots = 1

@@ -5,6 +5,7 @@ import (
 
 	"vmgrid/internal/gis"
 	"vmgrid/internal/gram"
+	"vmgrid/internal/obs"
 	"vmgrid/internal/storage"
 	"vmgrid/internal/vmm"
 )
@@ -111,8 +112,13 @@ func (s *Session) Migrate(targetName string, done func(error)) error {
 	// abort instead of minting a second live incarnation.
 	gen := s.gen
 	s.migrating = true
+	// The migration span covers suspend, state transfer, and arrival;
+	// it parents under the session's causal root so balancer moves show
+	// up on the session's critical path.
+	msp := s.grid.tracer.BeginChild(s.sctx, s.name, "migration", "migrate:"+targetName)
 	finish := func(err error) {
 		s.migrating = false
+		msp.EndErr(err)
 		if done != nil {
 			done(err)
 		}
@@ -156,7 +162,7 @@ func (s *Session) Migrate(targetName string, done func(error)) error {
 					finish(fmt.Errorf("%w: migration superseded mid-transfer", ErrFencedEpoch))
 					return
 				}
-				s.arrive(target, finish)
+				s.arrive(target, msp.Context(), finish)
 			})
 		})
 	}
@@ -193,7 +199,9 @@ func (s *Session) MigrateFenced(targetName string, done func(error)) error {
 		return fmt.Errorf("%w: fenced migrate in %q", ErrBadSession, s.state)
 	}
 	old := s.epoch
+	qsp := s.grid.tracer.BeginChild(s.sctx, s.name, "quorum", "epoch-bump")
 	ep, err := s.grid.info.BumpEpochFrom(s.cfg.FrontEnd, s.name)
+	qsp.EndErr(err)
 	if err != nil {
 		return err
 	}
@@ -242,7 +250,7 @@ func (s *Session) adoptEpoch(old, ep int64) {
 // The session must be in the "recovering" state (the supervisor's
 // failover path sets it) and the caller must have reserved a slot on
 // target.
-func (s *Session) restoreFrom(target *Node, writtenPages []int64, finish func(error)) {
+func (s *Session) restoreFrom(target *Node, writtenPages []int64, rctx obs.SpanContext, finish func(error)) {
 	if s.state != StateRecovering {
 		finish(fmt.Errorf("%w: restore in %q", ErrBadSession, s.state))
 		return
@@ -277,6 +285,8 @@ func (s *Session) restoreFrom(target *Node, writtenPages []int64, finish func(er
 		MemBytes: s.cfg.MemBytes,
 		Disk:     cow,
 		MemImage: mem,
+		Trace:    s.grid.tracer,
+		Ctx:      rctx,
 	})
 	if err != nil {
 		finish(err)
@@ -313,8 +323,9 @@ func (s *Session) restoreFrom(target *Node, writtenPages []int64, finish func(er
 }
 
 // arrive re-instantiates the session on the target node after its state
-// files landed there.
-func (s *Session) arrive(target *Node, finish func(error)) {
+// files landed there. mctx is the migration span, under which the new
+// VM's restore work parents.
+func (s *Session) arrive(target *Node, mctx obs.SpanContext, finish func(error)) {
 	oldNode := s.node
 	oldVM := s.vm
 	oldGuest := s.vm.Guest()
@@ -346,6 +357,8 @@ func (s *Session) arrive(target *Node, finish func(error)) {
 		MemBytes: s.cfg.MemBytes,
 		Disk:     cow,
 		MemImage: mem,
+		Trace:    s.grid.tracer,
+		Ctx:      mctx,
 	})
 	if err != nil {
 		finish(err)

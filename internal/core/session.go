@@ -7,6 +7,7 @@ import (
 	"vmgrid/internal/gis"
 	"vmgrid/internal/gram"
 	"vmgrid/internal/guest"
+	"vmgrid/internal/obs"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 	"vmgrid/internal/vfs"
@@ -195,7 +196,19 @@ type Session struct {
 	// by the supervisor through quorum writes (0 = never failed over or
 	// unsupervised).
 	epoch int64
+
+	// root is the session's causal root span (submitted→ready); sctx is
+	// its context, the parent every later span of the session's life —
+	// phases, GRAM submits, VFS ops, VMM work, supervisor machinery —
+	// descends from. Both are zero when tracing is off.
+	root obs.Span
+	sctx obs.SpanContext
 }
+
+// TraceContext returns the session's position in its causal tree (the
+// root every span of its life cycle descends from). Invalid when
+// tracing is off.
+func (s *Session) TraceContext() obs.SpanContext { return s.sctx }
 
 // Epoch returns the session's current fencing epoch.
 func (s *Session) Epoch() int64 { return s.epoch }
@@ -257,7 +270,7 @@ func (s *Session) mark(step string) {
 	now := s.grid.k.Now()
 	if tr := s.grid.tracer; tr != nil {
 		if phase := startupPhases[step]; phase != "" {
-			tr.SpanAt(s.name, "phase", phase, s.phaseStart, now)
+			tr.SpanAtChild(s.sctx, s.name, "phase", phase, s.phaseStart, now)
 		}
 		tr.Instant(s.name, "lifecycle", step)
 	}
@@ -378,11 +391,17 @@ func (g *Grid) CreateSession(cfg SessionConfig, done func(*Session, error), opts
 		priority: o.priority,
 	}
 	g.tracer.Metrics().Counter("core.sessions.submitted").Inc()
+	// The session's causal root: every span of its life cycle — phases,
+	// the GRAM submit, VFS block moves, VMM work, later supervisor
+	// recoveries — descends from this one trace.
+	s.root = g.tracer.BeginTrace(s.name, "session", "lifecycle")
+	s.sctx = s.root.Context()
 	s.mark("submitted")
 
 	fail := func(err error) {
 		s.state = StateDead
 		g.tracer.Metrics().Counter("core.sessions.failed").Inc()
+		s.root.EndErr(err)
 		if done != nil {
 			done(s, err)
 		}
@@ -427,10 +446,11 @@ func (g *Grid) CreateSession(cfg SessionConfig, done func(*Session, error), opts
 			}
 			client.SetTracer(g.tracer)
 			job := gram.Job{
-				Name:  "start-vm:" + s.name,
-				User:  cfg.User,
-				Fence: o.fence,
-				Run:   func(jobDone func(error)) { s.instantiate(jobDone) },
+				Name:   "start-vm:" + s.name,
+				User:   cfg.User,
+				Fence:  o.fence,
+				Ctx:    s.sctx,
+				RunCtx: func(ctx obs.SpanContext, jobDone func(error)) { s.instantiate(ctx, jobDone) },
 			}
 			submitErr := client.Submit(s.node.name, job, func(err error) {
 				if err != nil {
@@ -446,6 +466,7 @@ func (g *Grid) CreateSession(cfg SessionConfig, done func(*Session, error), opts
 					return
 				}
 				s.mark("ready")
+				s.root.End()
 				s.state = StateRunning
 				g.tracer.Metrics().Counter("core.sessions.ready").Inc()
 				g.live[s.name] = s
@@ -506,8 +527,10 @@ func (s *Session) resolveImage() error {
 }
 
 // instantiate performs steps 3-4 on the compute node: build the state
-// backends per policy, then create and start the VM.
-func (s *Session) instantiate(done func(error)) {
+// backends per policy, then create and start the VM. ctx is the
+// gatekeeper's handler span, so the VMM's boot/restore work parents
+// under the server side of the GRAM submit.
+func (s *Session) instantiate(ctx obs.SpanContext, done func(error)) {
 	if s.cfg.MemBytes == 0 {
 		if s.info.MemBytes > 0 {
 			s.cfg.MemBytes = s.info.MemBytes
@@ -531,6 +554,7 @@ func (s *Session) instantiate(done func(error)) {
 			Disk:     disk,
 			MemImage: mem,
 			Trace:    s.grid.tracer,
+			Ctx:      ctx,
 		})
 		if err != nil {
 			done(err)
@@ -594,6 +618,7 @@ func (s *Session) buildBackends(yield func(storage.Backend, *memBackend, error))
 		tr := vfs.NewLoopbackTransport(s.grid.k, node.vfsrv)
 		lcfg := vfs.LoopbackNFSConfig()
 		lcfg.Trace = s.grid.tracer
+		lcfg.Ctx = s.sctx
 		client, err := vfs.NewClient(s.grid.k, tr, lcfg)
 		if err != nil {
 			yield(nil, nil, err)
@@ -833,6 +858,7 @@ func (g *Grid) vfsClient(fromNode, toNode string, s *Session) (*vfs.Client, erro
 	cfg.Trace = g.tracer
 	if s != nil {
 		cfg.Fence = s.fence(toNode)
+		cfg.Ctx = s.sctx
 	}
 	return vfs.NewClient(g.k, tr, cfg)
 }

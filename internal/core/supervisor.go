@@ -402,7 +402,7 @@ func (sup *Supervisor) checkpoint(c *charge, done func(error)) {
 	c.checkpointing = true
 	suspendedAt := sup.g.k.Now()
 	ep := c.epoch
-	sp := sup.g.tracer.Begin(s.name, "supervisor", "checkpoint")
+	sp := sup.g.tracer.BeginChild(s.sctx, s.name, "supervisor", "checkpoint")
 	unlock := func(err error) {
 		c.checkpointing = false
 		sup.stats.CheckpointSec += sup.g.k.Now().Sub(suspendedAt).Seconds()
@@ -510,7 +510,11 @@ func (sup *Supervisor) failover(c *charge) {
 	c.checkpointing = false // a checkpoint in flight died with the node
 	s.state = StateRecovering
 	s.mark("recovering")
-	c.failSpan = sup.g.tracer.Begin(s.name, "supervisor", "failover")
+	c.failSpan = sup.g.tracer.BeginChild(s.sctx, s.name, "supervisor", "failover")
+	// Recovery entered: open an incident rooted at the failover span.
+	// The bundle captures the session's trace as the recovery unfolds
+	// and seals — postmortem included — when the failover span ends.
+	sup.g.incidentOpen("recovery", s.name, c.failSpan.Context())
 
 	target := sup.pickTarget(s)
 	if target == nil {
@@ -559,24 +563,30 @@ func (sup *Supervisor) failover(c *charge) {
 			_ = target.store.Delete(f)
 		}
 	}
+	stageSp := sup.g.tracer.BeginChild(c.failSpan.Context(), s.name, "supervisor", "restore-stage")
+	stageAbort := func(err error) {
+		stageSp.EndErr(err)
+		abort(err)
+	}
 	if err := gram.Stage(sup.g.net, stable.name, stable.store, memName,
 		target.name, target.store, s.name+".mem", func(err error) {
 			if err != nil {
-				abort(err)
+				stageAbort(err)
 				return
 			}
 			if err := gram.Stage(sup.g.net, stable.name, stable.store, cowName,
 				target.name, target.store, s.name+".cow", func(err error) {
 					if err != nil {
-						abort(err)
+						stageAbort(err)
 						return
 					}
+					stageSp.End()
 					sup.dispatchRestore(c, target, release)
 				}); err != nil {
-				abort(err)
+				stageAbort(err)
 			}
 		}); err != nil {
-		abort(err)
+		stageAbort(err)
 	}
 }
 
@@ -643,6 +653,7 @@ func (sup *Supervisor) fenceZombie(c *charge, epoch int64) {
 	c.s.mark("fenced")
 	sup.stats.ZombiesFenced++
 	sup.g.tracer.Metrics().Counter("core.zombies-fenced").Inc()
+	sup.g.incidentNow("fence", c.s.name)
 }
 
 // pickTarget picks the restore target through the grid's shared
@@ -698,6 +709,7 @@ func (sup *Supervisor) dispatchRestore(c *charge, target *Node, release func()) 
 	job := gram.Job{
 		Name: "restore-vm:" + s.name,
 		User: s.cfg.User,
+		Ctx:  c.failSpan.Context(),
 		// The fencing token rides the job: if a newer failover bumped the
 		// epoch while this dispatch sat in retry backoff, the gatekeeper
 		// rejects the stale restore instead of resurrecting a zombie.
@@ -707,8 +719,12 @@ func (sup *Supervisor) dispatchRestore(c *charge, target *Node, release func()) 
 			}
 			return nil
 		},
-		Run: func(jobDone func(error)) {
-			s.restoreFrom(target, c.ckptPages, jobDone)
+		RunCtx: func(ctx obs.SpanContext, jobDone func(error)) {
+			rsp := sup.g.tracer.BeginChild(ctx, s.name, "supervisor", "restore")
+			s.restoreFrom(target, c.ckptPages, rsp.Context(), func(err error) {
+				rsp.EndErr(err)
+				jobDone(err)
+			})
 		},
 	}
 	policy := retry.Policy{MaxAttempts: 4, Backoff: 500 * sim.Millisecond, MaxBackoff: 4 * sim.Second}

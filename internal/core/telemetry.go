@@ -54,6 +54,9 @@ func (g *Grid) EnableTelemetry(cfg telemetry.Config) (*telemetry.Collector, erro
 			"series": f.Series,
 			"value":  f.Value,
 		}, 0)
+		// An SLO alert is an incident trigger: freeze the flight
+		// recorder's recent past as a bundle (no-op without a recorder).
+		g.incidentNow("alert:"+f.Rule, f.Series)
 	})
 	col.OnResolve(func(f telemetry.Firing) {
 		g.info.Deregister(gis.KindAlert, f.Rule+"/"+f.Series)

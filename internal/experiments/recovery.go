@@ -8,6 +8,7 @@ import (
 	"vmgrid/internal/fault"
 	"vmgrid/internal/guest"
 	"vmgrid/internal/hw"
+	"vmgrid/internal/obs"
 	"vmgrid/internal/sim"
 	"vmgrid/internal/storage"
 	"vmgrid/internal/telemetry"
@@ -83,33 +84,68 @@ const recoveryTaskSec = 1500
 // compare the same failures. samples <= 0 selects the default replicate
 // count; samples × len(mtbfs) fan out across workers goroutines.
 func AblationRecovery(seed uint64, samples, workers int) ([]RecoveryRow, error) {
+	return ablationRecovery(seed, samples, workers, nil)
+}
+
+// AblationRecoveryIncidents runs the same sweep with every run's grid
+// carrying a flight recorder (flight-only tracer: causal spans feed the
+// ring and incident capture but are never retained whole). Each run's
+// incident bundles — one "recovery" incident per failover, sealed with a
+// postmortem when the failover resolves — are collected into set in
+// sample order, so the JSON export is byte-identical at any worker
+// count. The measured rows are unchanged: recording never alters
+// simulation outcomes.
+func AblationRecoveryIncidents(seed uint64, samples, workers int, set *obs.IncidentSet) ([]RecoveryRow, error) {
+	return ablationRecovery(seed, samples, workers, set)
+}
+
+func ablationRecovery(seed uint64, samples, workers int, set *obs.IncidentSet) ([]RecoveryRow, error) {
 	mtbfs := []sim.Duration{10 * sim.Minute, 30 * sim.Minute}
 	intervals := []sim.Duration{30 * sim.Second, 60 * sim.Second, 120 * sim.Second, 240 * sim.Second}
 	if samples <= 0 {
 		samples = 8
 	}
-	arms, err := RunSamples(context.Background(), seed, len(mtbfs)*samples, workers,
-		func(i int, sseed uint64) ([]recoveryArm, error) {
+	type sampleOut struct {
+		arms []recoveryArm
+		recs []*obs.FlightRecorder
+	}
+	results, err := RunSamples(context.Background(), seed, len(mtbfs)*samples, workers,
+		func(i int, sseed uint64) (sampleOut, error) {
 			mtbf := mtbfs[i/samples]
-			out := make([]recoveryArm, len(intervals))
+			out := sampleOut{
+				arms: make([]recoveryArm, len(intervals)),
+				recs: make([]*obs.FlightRecorder, len(intervals)),
+			}
 			for j, iv := range intervals {
-				a, err := recoveryRun(sseed, mtbf, iv)
+				a, rec, err := recoveryRun(sseed, mtbf, iv, set != nil)
 				if err != nil {
-					return nil, fmt.Errorf("recovery mtbf=%v ckpt=%v sample %d: %w", mtbf, iv, i, err)
+					return sampleOut{}, fmt.Errorf("recovery mtbf=%v ckpt=%v sample %d: %w", mtbf, iv, i, err)
 				}
-				out[j] = a
+				out.arms[j] = a
+				out.recs[j] = rec
 			}
 			return out, nil
 		})
 	if err != nil {
 		return nil, err
 	}
+	// RunSamples returns in sample-index order regardless of worker
+	// interleaving, so this loop fixes the incident layout.
+	if set != nil {
+		for i, r := range results {
+			mtbf := mtbfs[i/samples]
+			for j, iv := range intervals {
+				set.Add(fmt.Sprintf("recovery/mtbf-%.0fs/ckpt-%.0fs/%d",
+					mtbf.Seconds(), iv.Seconds(), i%samples), r.recs[j])
+			}
+		}
+	}
 	rows := make([]RecoveryRow, 0, len(mtbfs)*len(intervals))
 	for mi, mtbf := range mtbfs {
 		for ji, iv := range intervals {
 			var sum recoveryArm
 			for si := 0; si < samples; si++ {
-				a := arms[mi*samples+si][ji]
+				a := results[mi*samples+si].arms[ji]
 				sum.CompletionSec += a.CompletionSec
 				sum.LostWorkSec += a.LostWorkSec
 				sum.RepairSec += a.RepairSec
@@ -141,11 +177,17 @@ func AblationRecovery(seed uint64, samples, workers int) ([]RecoveryRow, error) 
 // recoveryRun simulates one supervised task to completion: two compute
 // nodes on a LAN with a data server holding the checkpoints, node
 // crashes drawn from the crash seed (identical across interval arms),
-// each crashed node rebooting 300 s later.
-func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, error) {
+// each crashed node rebooting 300 s later. With record set the grid
+// carries a flight recorder whose incident bundles are returned (nil
+// otherwise — the zero-cost disabled path).
+func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration, record bool) (recoveryArm, *obs.FlightRecorder, error) {
 	var arm recoveryArm
 	g := core.NewGrid(crashSeed)
 	k := g.Kernel()
+	var rec *obs.FlightRecorder
+	if record {
+		rec = g.EnableFlightRecorder(obs.FlightConfig{})
+	}
 	// The telemetry pipeline runs alongside the supervisor with the
 	// standard SLO rules: its stale-lease alert (2×heartbeat) is an
 	// independent shadow of the lease-expiry failure detector
@@ -154,10 +196,10 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 	// so the measured recovery numbers are unchanged by it.
 	col, err := g.EnableTelemetry(telemetry.Config{})
 	if err != nil {
-		return arm, err
+		return arm, nil, err
 	}
 	if err := g.DefaultAlertRules(0); err != nil {
-		return arm, err
+		return arm, nil, err
 	}
 	col.Start()
 	for _, cfg := range []core.NodeConfig{
@@ -167,18 +209,18 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 		{Name: "data", Site: "a", Role: core.RoleDataServer},
 	} {
 		if _, err := g.AddNode(cfg); err != nil {
-			return arm, err
+			return arm, nil, err
 		}
 	}
 	if err := g.Net().BuildLAN("front", "c1", "c2", "data"); err != nil {
-		return arm, err
+		return arm, nil, err
 	}
 	// A modest warm image bounds the per-checkpoint staging cost so the
 	// interval sweep exercises a real overhead/recovery trade-off.
 	img := storage.ImageInfo{Name: "rh72", OS: "rh72", DiskBytes: 2 * hw.GB, MemBytes: 64 * hw.MB}
 	for _, n := range []string{"c1", "c2"} {
 		if err := g.Node(n).InstallImage(img); err != nil {
-			return arm, err
+			return arm, nil, err
 		}
 	}
 
@@ -188,11 +230,11 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 		User: "bench", FrontEnd: "front", Image: "rh72",
 		Mode: vmm.WarmRestore, Disk: core.NonPersistent, Access: core.AccessLocal,
 	}, func(s *core.Session, err error) { sess, serr, ready = s, err, true }); err != nil {
-		return arm, err
+		return arm, nil, err
 	}
 	_ = k.RunUntil(k.Now().Add(30 * sim.Minute))
 	if !ready || serr != nil {
-		return arm, fmt.Errorf("experiments: recovery session setup: ready=%v err=%v", ready, serr)
+		return arm, nil, fmt.Errorf("experiments: recovery session setup: ready=%v err=%v", ready, serr)
 	}
 
 	sup, err := core.NewSupervisor(g, core.SupervisorConfig{
@@ -203,11 +245,11 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 		MaxRecoveries: 64,
 	})
 	if err != nil {
-		return arm, err
+		return arm, nil, err
 	}
 	adopted, aerr := false, error(nil)
 	if err := sup.Adopt(sess, func(err error) { aerr, adopted = err, true }); err != nil {
-		return arm, err
+		return arm, nil, err
 	}
 	// Heartbeats keep the event queue non-empty forever, so drive the
 	// kernel in bounded quanta rather than draining it.
@@ -219,7 +261,7 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 	}
 	step(sim.Hour, func() bool { return adopted })
 	if !adopted || aerr != nil {
-		return arm, fmt.Errorf("experiments: baseline checkpoint: adopted=%v err=%v", adopted, aerr)
+		return arm, nil, fmt.Errorf("experiments: baseline checkpoint: adopted=%v err=%v", adopted, aerr)
 	}
 
 	var res guest.TaskResult
@@ -238,7 +280,7 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 		}
 		finished = true
 	}); err != nil {
-		return arm, err
+		return arm, nil, err
 	}
 
 	// The crash schedule is a pure function of the crash seed: interval
@@ -263,10 +305,10 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 	sup.Stop()
 	col.Stop()
 	if !finished {
-		return arm, fmt.Errorf("experiments: recovery run never finished (state %q)", sess.State())
+		return arm, nil, fmt.Errorf("experiments: recovery run never finished (state %q)", sess.State())
 	}
 	if res.Err != nil {
-		return arm, fmt.Errorf("experiments: recovery task: %w", res.Err)
+		return arm, nil, fmt.Errorf("experiments: recovery task: %w", res.Err)
 	}
 	return recoveryArm{
 		CompletionSec: res.Elapsed().Seconds(),
@@ -276,7 +318,7 @@ func recoveryRun(crashSeed uint64, mtbf, interval sim.Duration) (recoveryArm, er
 		Crashes:       statsAt.Crashes,
 		Recoveries:    statsAt.Recoveries,
 		LeaseAlerts:   leaseAlertsAt,
-	}, nil
+	}, rec, nil
 }
 
 // RecoveryTable renders ablation G.

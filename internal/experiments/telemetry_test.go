@@ -86,7 +86,7 @@ func TestFig1TelemetryDeterministicAcrossWorkers(t *testing.T) {
 // after failover), so firings never exceed crashes.
 func TestRecoveryLeaseAlertsTrackCrashes(t *testing.T) {
 	for seed := uint64(1); seed <= 4; seed++ {
-		arm, err := recoveryRun(seed, 10*sim.Minute, 60*sim.Second)
+		arm, _, err := recoveryRun(seed, 10*sim.Minute, 60*sim.Second, false)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -53,12 +53,32 @@ type Job struct {
 	User string
 	// Run performs the work; it must invoke done(err) exactly once.
 	Run func(done func(err error))
+	// RunCtx, when set, is used instead of Run: it additionally receives
+	// the gatekeeper's handler-span context, so work done on the far
+	// side of the submit parents under the server-side span of the RPC.
+	RunCtx func(ctx obs.SpanContext, done func(err error))
+	// Ctx is the submitter's span context. The client's submit span
+	// parents under it, and the gatekeeper's handler span re-parents
+	// under the submit span — the trace crosses the wire with the job.
+	// Zero keeps every span flat, as before causality existed.
+	Ctx obs.SpanContext
 	// Fence, when non-nil, is evaluated at the gatekeeper after
 	// authentication and immediately before Run; a non-nil error rejects
 	// the job without running it. Supervisors thread fencing tokens
 	// through it so a restore dispatched before a newer failover cannot
 	// execute against a superseded epoch.
 	Fence func() error
+}
+
+// body returns the job's work function, bridging Run and RunCtx.
+func (j Job) body() func(ctx obs.SpanContext, done func(error)) {
+	if j.RunCtx != nil {
+		return j.RunCtx
+	}
+	if j.Run == nil {
+		return nil
+	}
+	return func(_ obs.SpanContext, done func(error)) { j.Run(done) }
 }
 
 // Gatekeeper accepts jobs at one host, the way a Globus gatekeeper plus
@@ -68,6 +88,7 @@ type Gatekeeper struct {
 	// authorized is the gridmap: which users may submit (empty = all).
 	authorized map[string]bool
 	accepted   uint64
+	trace      *obs.Tracer
 }
 
 // NewGatekeeper starts a gatekeeper on host.
@@ -77,6 +98,11 @@ func NewGatekeeper(host *hostos.Host) *Gatekeeper {
 
 // Host returns the gatekeeper's machine.
 func (g *Gatekeeper) Host() *hostos.Host { return g.host }
+
+// SetTracer records a server-side handler span per accepted job into
+// tr, re-parented under the submitting side's context when the job
+// carries one. A nil tracer (the default) disables tracing.
+func (g *Gatekeeper) SetTracer(tr *obs.Tracer) { g.trace = tr }
 
 // Accepted returns the number of jobs accepted so far.
 func (g *Gatekeeper) Accepted() uint64 { return g.accepted }
@@ -92,25 +118,32 @@ func (g *Gatekeeper) Revoke(user string) { delete(g.authorized, user) }
 // loaded machine authenticates slowly, part of Table 2's variance), then
 // execute. done receives the job's error.
 func (g *Gatekeeper) Submit(job Job, done func(error)) error {
-	if job.Run == nil {
+	body := job.body()
+	if body == nil {
 		return fmt.Errorf("gram: job %q with no body", job.Name)
 	}
 	if len(g.authorized) > 0 && !g.authorized[job.User] {
 		return fmt.Errorf("%w: user %q", ErrDenied, job.User)
 	}
 	g.accepted++
+	// The handler span re-parents under the submitter's context: the
+	// client RPC span on one node, the server-side dispatch on another,
+	// one causal tree across the wire.
+	hsp := g.trace.BeginChild(job.Ctx, "gram", "server", "gatekeeper:"+job.Name)
 	proc := g.host.Spawn("gatekeeper:" + job.Name)
 	proc.RunWork(AuthWork, func() {
 		proc.Exit()
 		if job.Fence != nil {
 			if err := job.Fence(); err != nil {
+				hsp.EndErr(err)
 				if done != nil {
 					done(err)
 				}
 				return
 			}
 		}
-		job.Run(func(err error) {
+		body(hsp.Context(), func(err error) {
+			hsp.EndErr(err)
 			if done != nil {
 				done(err)
 			}
@@ -166,7 +199,11 @@ func (c *Client) Submit(serverNode string, job Job, done func(error)) error {
 	if gk == nil {
 		return fmt.Errorf("%w: %s", ErrNoGatekeeper, serverNode)
 	}
-	sp := c.trace.Begin("gram", "rpc", "submit:"+job.Name)
+	sp := c.trace.BeginChild(job.Ctx, "gram", "rpc", "submit:"+job.Name)
+	if ctx := sp.Context(); ctx.Valid() {
+		// Inject: the far side's handler span parents under this RPC span.
+		job.Ctx = ctx
+	}
 	c.trace.Metrics().Counter("gram.submissions").Inc()
 	fail := func(err error) {
 		sp.EndErr(err)

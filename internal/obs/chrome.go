@@ -97,12 +97,20 @@ func (ts *TraceSet) WriteChrome(w io.Writer) error {
 				}
 				return id
 			}
-			for _, s := range e.tracer.Spans() {
-				id := tid(s.Track)
-				args := ""
-				if s.Note != "" {
-					args = fmt.Sprintf(`,"args":{"note":%q}`, s.Note)
+			// Parent lookup for flow binding: a child on a different
+			// track than its parent gets an explicit flow arrow, so
+			// client RPC spans visually bind to their server-side
+			// handler spans instead of rendering as unrelated tracks.
+			spans := e.tracer.spansRO()
+			byID := map[SpanID]int{}
+			for i, s := range spans {
+				if s.ID != 0 {
+					byID[s.ID] = i
 				}
+			}
+			for _, s := range spans {
+				id := tid(s.Track)
+				args := chromeArgs(s)
 				if s.Instant {
 					emit(fmt.Sprintf(`{"name":%q,"cat":%q,"ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"%s}`,
 						s.Name, s.Cat, int64(s.Start), pid, id, args))
@@ -114,6 +122,16 @@ func (ts *TraceSet) WriteChrome(w io.Writer) error {
 				}
 				emit(fmt.Sprintf(`{"name":%q,"cat":%q,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d%s}`,
 					s.Name, s.Cat, int64(s.Start), int64(end.Sub(s.Start)), pid, id, args))
+				if s.Parent != 0 {
+					if pi, ok := byID[s.Parent]; ok && spans[pi].Track != s.Track {
+						p := spans[pi]
+						ptid := tid(p.Track)
+						emit(fmt.Sprintf(`{"name":%q,"cat":"flow","ph":"s","id":%d,"ts":%d,"pid":%d,"tid":%d}`,
+							s.Name, uint64(s.ID), int64(p.Start), pid, ptid))
+						emit(fmt.Sprintf(`{"name":%q,"cat":"flow","ph":"f","bp":"e","id":%d,"ts":%d,"pid":%d,"tid":%d}`,
+							s.Name, uint64(s.ID), int64(s.Start), pid, id))
+					}
+				}
 			}
 		}
 	}
@@ -121,6 +139,27 @@ func (ts *TraceSet) WriteChrome(w io.Writer) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// chromeArgs renders a span's args object: the optional note plus the
+// causal identity (hex trace/span/parent ids) when present.
+func chromeArgs(s SpanRecord) string {
+	if s.Note == "" && s.ID == 0 {
+		return ""
+	}
+	out := `,"args":{`
+	sep := ""
+	if s.Note != "" {
+		out += fmt.Sprintf(`"note":%q`, s.Note)
+		sep = ","
+	}
+	if s.ID != 0 {
+		out += fmt.Sprintf(`%s"trace":%q,"span":%q`, sep, s.Trace.String(), s.ID.String())
+		if s.Parent != 0 {
+			out += fmt.Sprintf(`,"parent":%q`, s.Parent.String())
+		}
+	}
+	return out + "}"
 }
 
 // PhaseStat aggregates every span sharing (label, cat, name) across one
@@ -153,7 +192,7 @@ func (ts *TraceSet) PhaseStats() []PhaseStat {
 	var rows []PhaseStat
 	index := map[[3]string]int{}
 	for _, e := range ts.entries {
-		for _, s := range e.tracer.Spans() {
+		for _, s := range e.tracer.spansRO() {
 			if s.Instant {
 				continue
 			}

@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+
+	"vmgrid/internal/sim"
+)
+
+// Postmortem analysis: given the spans of one causal tree, compute
+// where the root interval's time actually went. The model is
+// deepest-cover attribution — every instant of the root span belongs
+// to the deepest span covering it — which for this middleware's
+// serial, event-driven work IS the critical path: the time-ordered
+// chain of deepest spans is the sequence of operations that each had
+// to finish before the next could start. The walk is a pure function
+// of span intervals and insertion order, so reports are deterministic
+// at any -parallel worker count.
+
+// PathStep is one segment of the critical path: the deepest span
+// covering [StartUs, EndUs).
+type PathStep struct {
+	Track string `json:"track"`
+	Cat   string `json:"cat"`
+	Name  string `json:"name"`
+	// Resource classifies the step (see ResourceOf).
+	Resource string   `json:"resource"`
+	StartUs  sim.Time `json:"startUs"`
+	EndUs    sim.Time `json:"endUs"`
+	// Depth is the step's nesting depth below the root (root self-time
+	// segments have depth 0).
+	Depth int `json:"depth"`
+	// Via is the causal lineage between the root and this step —
+	// "cat/name" of each enclosing span, outermost first. A step's time
+	// belongs to the deepest span, but the path still passes through
+	// every ancestor (a vmm restore runs *inside* the supervisor's
+	// restore phase), and Via keeps that visible.
+	Via []string `json:"via,omitempty"`
+}
+
+// Dur returns the step length.
+func (p PathStep) Dur() sim.Duration { return p.EndUs.Sub(p.StartUs) }
+
+// Attribution aggregates the critical path by (resource, cat, name):
+// how much of the root interval each kind of work owned.
+type Attribution struct {
+	Resource string       `json:"resource"`
+	Cat      string       `json:"cat"`
+	Name     string       `json:"name"`
+	SelfUs   sim.Duration `json:"selfUs"`
+	// Share is SelfUs over the root duration.
+	Share float64 `json:"share"`
+}
+
+// Report is one postmortem: the causal root, its critical path, and
+// the slowdown attribution derived from it.
+type Report struct {
+	Trace    TraceID  `json:"trace"`
+	RootID   SpanID   `json:"rootId"`
+	Root     string   `json:"root"`
+	RootCat  string   `json:"rootCat"`
+	RootNote string   `json:"rootNote,omitempty"`
+	StartUs  sim.Time `json:"startUs"`
+	EndUs    sim.Time `json:"endUs"`
+	// TotalUs is the root duration; the attribution rows sum to it.
+	TotalUs     sim.Duration  `json:"totalUs"`
+	Critical    []PathStep    `json:"criticalPath"`
+	Attribution []Attribution `json:"attribution"`
+}
+
+// ResourceOf classifies a span into the resource classes the
+// postmortem attributes slowdown to: vfs-wait (remote block moves),
+// cpu (guest boot/restore work under the VMM), migration, recovery
+// (supervisor failover machinery), checkpoint, quorum-write (epoch
+// bumps through the replicated registry), rpc (control-path round
+// trips), phase (lifecycle phases not refined by a deeper span), and
+// other.
+func ResourceOf(track, cat, name string) string {
+	switch cat {
+	case "rpc":
+		if track == "vfs" {
+			return "vfs-wait"
+		}
+		return "rpc"
+	case "server":
+		return "rpc"
+	case "vmm":
+		return "cpu"
+	case "migration":
+		return "migration"
+	case "quorum":
+		return "quorum-write"
+	case "supervisor":
+		if name == "checkpoint" {
+			return "checkpoint"
+		}
+		return "recovery"
+	case "phase":
+		return "phase"
+	case "session":
+		return "session"
+	}
+	if strings.HasPrefix(name, "stage") {
+		return "staging"
+	}
+	return "other"
+}
+
+// pmNode is one span in the containment forest.
+type pmNode struct {
+	rec  SpanRecord
+	kids []*pmNode
+}
+
+func clampEnd(r SpanRecord) sim.Time {
+	if r.End < r.Start {
+		return r.Start // never-closed span reads as zero-length
+	}
+	return r.End
+}
+
+// Analyze computes the postmortem of the causal tree rooted at root
+// from the given spans (a tracer dump, a flight-recorder bundle — any
+// superset works; duplicates dedupe by SpanID). Returns nil when the
+// root span is absent or the context invalid.
+func Analyze(spans []SpanRecord, root SpanContext) *Report {
+	if !root.Valid() {
+		return nil
+	}
+	var rootRec SpanRecord
+	haveRoot := false
+	members := make([]SpanRecord, 0, len(spans))
+	seen := make(map[SpanID]bool, len(spans))
+	for _, s := range spans {
+		if s.Instant || s.Trace != root.Trace || s.ID == 0 || seen[s.ID] {
+			continue
+		}
+		seen[s.ID] = true
+		if s.ID == root.Span {
+			rootRec = s
+			haveRoot = true
+			continue
+		}
+		members = append(members, s)
+	}
+	if !haveRoot {
+		return nil
+	}
+	rootEnd := clampEnd(rootRec)
+
+	// Causal forest: each span hangs under its recorded Parent, and
+	// spans whose parent is absent (ring eviction, a handler that never
+	// closed) fall back to the root. Containment cannot be inferred from
+	// intervals alone — a client-side phase span and the server handler
+	// it brackets genuinely overlap without nesting — but the Parent
+	// links recorded at BeginChild time resolve the ambiguity; the cover
+	// walk then clips every child to its parent's window.
+	rootNode := &pmNode{rec: rootRec}
+	nodes := make(map[SpanID]*pmNode, len(members)+1)
+	nodes[rootRec.ID] = rootNode
+	kept := make([]*pmNode, 0, len(members))
+	for _, m := range members {
+		if m.Start >= rootEnd || clampEnd(m) <= rootRec.Start {
+			continue // entirely outside the root interval
+		}
+		n := &pmNode{rec: m}
+		nodes[m.ID] = n
+		kept = append(kept, n)
+	}
+	for _, n := range kept {
+		p := nodes[n.rec.Parent]
+		if p == nil || p == n {
+			p = rootNode
+		}
+		p.kids = append(p.kids, n)
+	}
+	// Walk children in time order; at equal starts the shorter span goes
+	// first so the longer sibling covers the remainder instead of
+	// clipping the shorter one to nothing. Ties keep recording order.
+	var sortKids func(n *pmNode)
+	sortKids = func(n *pmNode) {
+		sort.SliceStable(n.kids, func(i, j int) bool {
+			a, b := n.kids[i].rec, n.kids[j].rec
+			if a.Start != b.Start {
+				return a.Start < b.Start
+			}
+			return clampEnd(a) < clampEnd(b)
+		})
+		for _, k := range n.kids {
+			sortKids(k)
+		}
+	}
+	sortKids(rootNode)
+
+	// Cover walk: attribute every instant of the root interval to the
+	// deepest span covering it, emitting the critical path in time
+	// order. Children are visited in start order with clipping, so the
+	// segments partition [root.Start, rootEnd) exactly.
+	rep := &Report{
+		Trace: rootRec.Trace, RootID: rootRec.ID,
+		Root: rootRec.Name, RootCat: rootRec.Cat, RootNote: rootRec.Note,
+		StartUs: rootRec.Start, EndUs: rootEnd,
+		TotalUs: rootEnd.Sub(rootRec.Start),
+	}
+	type akey struct{ resource, cat, name string }
+	attr := make(map[akey]*Attribution)
+	addSeg := func(r SpanRecord, s, e sim.Time, depth int, via []string) {
+		if e <= s {
+			return
+		}
+		res := ResourceOf(r.Track, r.Cat, r.Name)
+		rep.Critical = append(rep.Critical, PathStep{
+			Track: r.Track, Cat: r.Cat, Name: r.Name, Resource: res,
+			StartUs: s, EndUs: e, Depth: depth, Via: via,
+		})
+		k := akey{res, r.Cat, r.Name}
+		a := attr[k]
+		if a == nil {
+			a = &Attribution{Resource: res, Cat: r.Cat, Name: r.Name}
+			attr[k] = a
+		}
+		a.SelfUs += e.Sub(s)
+	}
+	var walk func(n *pmNode, lo, hi sim.Time, depth int, via []string)
+	walk = func(n *pmNode, lo, hi sim.Time, depth int, via []string) {
+		// Children inherit this node's lineage plus the node itself (the
+		// root is identified by the report header, not repeated in Via).
+		kidVia := via
+		if depth > 0 {
+			// Full-slice append: siblings never share growable backing.
+			kidVia = append(via[:len(via):len(via)], n.rec.Cat+"/"+n.rec.Name)
+		}
+		cursor := lo
+		for _, k := range n.kids {
+			ks, ke := k.rec.Start, clampEnd(k.rec)
+			if ks < cursor {
+				ks = cursor
+			}
+			if ke > hi {
+				ke = hi
+			}
+			if ke <= ks {
+				continue
+			}
+			addSeg(n.rec, cursor, ks, depth, via)
+			walk(k, ks, ke, depth+1, kidVia)
+			cursor = ke
+		}
+		addSeg(n.rec, cursor, hi, depth, via)
+	}
+	walk(rootNode, rootRec.Start, rootEnd, 0, nil)
+
+	rep.Attribution = make([]Attribution, 0, len(attr))
+	for _, a := range attr {
+		if rep.TotalUs > 0 {
+			a.Share = float64(a.SelfUs) / float64(rep.TotalUs)
+		}
+		rep.Attribution = append(rep.Attribution, *a)
+	}
+	sort.Slice(rep.Attribution, func(i, j int) bool {
+		a, b := rep.Attribution[i], rep.Attribution[j]
+		if a.SelfUs != b.SelfUs {
+			return a.SelfUs > b.SelfUs
+		}
+		if a.Resource != b.Resource {
+			return a.Resource < b.Resource
+		}
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		return a.Name < b.Name
+	})
+	return rep
+}
+
+// Roots returns the trace roots among spans (non-instant spans with a
+// TraceID and no parent), in recording order — the entry points for
+// Analyze over a tracer dump.
+func Roots(spans []SpanRecord) []SpanRecord {
+	var out []SpanRecord
+	for _, s := range spans {
+		if !s.Instant && s.Trace != 0 && s.ID != 0 && s.Parent == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CriticalPathNames reports whether the report's critical path passes
+// through a span with the given cat and name — as the deepest owner of
+// a step, or as an ancestor on a step's Via lineage (a vmm restore's
+// time still passes through the supervisor restore phase enclosing it).
+// This is the assertion hook acceptance tests use ("does the path name
+// the supervisor restore?").
+func (r *Report) CriticalPathNames(cat, name string) bool {
+	if r == nil {
+		return false
+	}
+	target := cat + "/" + name
+	for _, s := range r.Critical {
+		if s.Cat == cat && s.Name == name {
+			return true
+		}
+		for _, v := range s.Via {
+			if v == target {
+				return true
+			}
+		}
+	}
+	return false
+}

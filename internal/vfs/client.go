@@ -71,6 +71,9 @@ type Config struct {
 	// Trace, when non-nil, records a span per RPC attempt and the
 	// client's counters into the shared observability layer.
 	Trace *obs.Tracer
+	// Ctx, when valid, parents the RPC spans under the owning session's
+	// causal tree, so block waits show up on its critical path.
+	Ctx obs.SpanContext
 	// Fence, when non-nil, is evaluated before every write RPC is issued
 	// (write-through and write-back drains alike); a non-nil error fails
 	// the RPC without touching the transport. Sessions thread fencing
@@ -317,7 +320,7 @@ func (l *call) start() {
 		return
 	}
 	l.fast = true
-	l.sp = c.cfg.Trace.Begin("vfs", "rpc", l.op)
+	l.sp = c.cfg.Trace.BeginChild(c.cfg.Ctx, "vfs", "rpc", l.op)
 	l.began = c.k.Now()
 	l.issue(l.settleFn)
 }
@@ -417,7 +420,7 @@ func (c *Client) transact(op string, issue func(done func(error)), done func(err
 	attempt = func(n int) {
 		settled := false
 		var timer sim.EventID
-		sp := c.cfg.Trace.Begin("vfs", "rpc", op)
+		sp := c.cfg.Trace.BeginChild(c.cfg.Ctx, "vfs", "rpc", op)
 		start := c.k.Now()
 		finish := func(err error) {
 			if settled {

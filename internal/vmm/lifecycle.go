@@ -68,7 +68,7 @@ func (vm *VM) Start(mode StartMode, done func(error)) error {
 	// host, so a loaded host starts VMs slower).
 	vm.state = StateInitializing
 	vm.updateDemand()
-	initSpan := vm.cfg.Trace.Begin(vm.cfg.Name, "vmm", "init")
+	initSpan := vm.cfg.Trace.BeginChild(vm.cfg.Ctx, vm.cfg.Name, "vmm", "init")
 	vm.proc.RunWork(vm.cost.InitWork, func() {
 		initSpan.End()
 		// Re-register the rate hook that RunWork cleared.
@@ -78,7 +78,7 @@ func (vm *VM) Start(mode StartMode, done func(error)) error {
 			vm.state = StateBooting
 			vm.updateDemand()
 			vm.recompute()
-			runSpan = vm.cfg.Trace.Begin(vm.cfg.Name, "vmm", "boot")
+			runSpan = vm.cfg.Trace.BeginChild(vm.cfg.Ctx, vm.cfg.Name, "vmm", "boot")
 			if err := vm.os.Boot(guest.DefaultBoot(), finish); err != nil {
 				finish(fmt.Errorf("vmm %q: %w", vm.cfg.Name, err))
 			}
@@ -86,7 +86,7 @@ func (vm *VM) Start(mode StartMode, done func(error)) error {
 			vm.state = StateRestoring
 			vm.updateDemand()
 			vm.recompute()
-			runSpan = vm.cfg.Trace.Begin(vm.cfg.Name, "vmm", "restore")
+			runSpan = vm.cfg.Trace.BeginChild(vm.cfg.Ctx, vm.cfg.Name, "vmm", "restore")
 			vm.readMemImage(0, func() {
 				vm.os.MarkBooted()
 				if err := vm.os.ResumeWarm(guest.DefaultResume(), finish); err != nil {
@@ -133,7 +133,7 @@ func (vm *VM) Suspend(done func(error)) error {
 	vm.state = StateSuspending
 	vm.updateDemand()
 	vm.recompute() // freezes guest tasks at rate 0
-	sp := vm.cfg.Trace.Begin(vm.cfg.Name, "vmm", "suspend")
+	sp := vm.cfg.Trace.BeginChild(vm.cfg.Ctx, vm.cfg.Name, "vmm", "suspend")
 	vm.writeMemImage(0, func() {
 		sp.End()
 		vm.state = StateSuspended

@@ -127,6 +127,9 @@ type Config struct {
 	// Trace, when non-nil, records lifecycle spans (init, boot, restore,
 	// suspend) and the world-switch-rate gauge.
 	Trace *obs.Tracer
+	// Ctx, when valid, parents the lifecycle spans under the caller's
+	// causal tree (the gatekeeper handler that instantiated this VM).
+	Ctx obs.SpanContext
 }
 
 // VM is one virtual machine: a monitor process on a host plus the guest

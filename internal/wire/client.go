@@ -321,6 +321,27 @@ func (c *Client) Spans(opts ...CallOption) ([]obs.SpanRecord, error) {
 	return spans, err
 }
 
+// Trace fetches one session's causal tree and postmortem report.
+func (c *Client) Trace(session string, opts ...CallOption) (TraceInfo, error) {
+	var info TraceInfo
+	err := c.Call("trace", SessionRef{Session: session}, &info, opts...)
+	return info, err
+}
+
+// Incidents lists the flight recorder's incident bundles.
+func (c *Client) Incidents(opts ...CallOption) ([]IncidentInfo, error) {
+	var rows []IncidentInfo
+	err := c.Call("incidents", nil, &rows, opts...)
+	return rows, err
+}
+
+// Incident fetches one full incident bundle by id.
+func (c *Client) Incident(id string, opts ...CallOption) (obs.Incident, error) {
+	var inc obs.Incident
+	err := c.Call("incident", IncidentRef{ID: id}, &inc, opts...)
+	return inc, err
+}
+
 // Top fetches one scrape-fresh grid snapshot.
 func (c *Client) Top(opts ...CallOption) (TopInfo, error) {
 	var info TopInfo

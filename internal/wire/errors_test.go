@@ -128,6 +128,71 @@ func TestMetricsAndSpansOps(t *testing.T) {
 	}
 }
 
+// TestTraceAndIncidentOps drives the causal-observability surface over
+// TCP: trace returns the session's complete causal tree (one TraceID,
+// phases and RPCs parented into it) plus a postmortem whose critical
+// path partitions the startup, and the incident ops expose the flight
+// recorder every served grid carries from birth.
+func TestTraceAndIncidentOps(t *testing.T) {
+	c := startServer(t)
+	buildFabric(t, c)
+	info, err := c.NewSession(SessionParams{
+		User: "alice", FrontEnd: "front", Image: "rh72",
+		Mode: "restore", Disk: "non-persistent", Access: "local",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := c.Trace(info.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Session != info.Name || tr.Trace == "0000000000000000" {
+		t.Fatalf("trace header = %+v", tr)
+	}
+	if len(tr.Spans) == 0 {
+		t.Fatal("trace has no spans")
+	}
+	phases, foreign := 0, 0
+	for _, sp := range tr.Spans {
+		if sp.Trace.String() != tr.Trace {
+			foreign++
+		}
+		if sp.Cat == "phase" {
+			phases++
+		}
+	}
+	if foreign != 0 || phases != 5 {
+		t.Errorf("trace spans: %d foreign, %d phases (want 0, 5)", foreign, phases)
+	}
+	if tr.Report == nil {
+		t.Fatal("trace has no postmortem report")
+	}
+	var sum float64
+	for _, a := range tr.Report.Attribution {
+		sum += a.Share
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("attribution shares sum to %.4f, want 1", sum)
+	}
+
+	// A healthy startup triggers nothing; the list op still answers.
+	incs, err := c.Incidents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 0 {
+		t.Errorf("fresh grid has %d incidents, want 0", len(incs))
+	}
+	if _, err := c.Incident("inc-999-nope"); err == nil {
+		t.Error("unknown incident id did not error")
+	}
+	if _, err := c.Trace("ghost"); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("trace of unknown session = %v, want ErrUnknownSession", err)
+	}
+}
+
 // TestCallOptions exercises WithDeadline and WithRetry pass-through on
 // both the success path and a fast-fail probe against a dead server.
 func TestCallOptions(t *testing.T) {

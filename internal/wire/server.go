@@ -53,6 +53,7 @@ func NewServer(seed uint64) *Server {
 	grid := core.NewGrid(seed)
 	tr := obs.New(grid.Kernel())
 	grid.SetTracer(tr)
+	grid.EnableFlightRecorder(obs.FlightConfig{})
 	if _, err := grid.EnableTelemetry(telemetry.Config{}); err != nil {
 		panic(err) // fresh grid: cannot happen
 	}
@@ -581,6 +582,45 @@ func (s *Server) handle(op string, params json.RawMessage) (json.RawMessage, err
 		}
 		return marshal(spans)
 
+	case "trace":
+		p, err := unmarshal[SessionRef](params)
+		if err != nil {
+			return nil, err
+		}
+		sess, ok := s.sessions[p.Session]
+		if !ok {
+			return nil, fmt.Errorf("%w %q", ErrUnknownSession, p.Session)
+		}
+		ctx := sess.TraceContext()
+		info := TraceInfo{Session: sess.Name(), Trace: ctx.Trace.String(), Spans: []obs.SpanRecord{}}
+		if ctx.Valid() {
+			for _, sp := range s.trace.Spans() {
+				if sp.Trace == ctx.Trace {
+					info.Spans = append(info.Spans, sp)
+				}
+			}
+			info.Report = obs.Analyze(info.Spans, ctx)
+		}
+		return marshal(info)
+
+	case "incidents":
+		out := []IncidentInfo{}
+		for _, inc := range s.grid.Recorder().Incidents() {
+			out = append(out, incidentInfo(inc))
+		}
+		return marshal(out)
+
+	case "incident":
+		p, err := unmarshal[IncidentRef](params)
+		if err != nil {
+			return nil, err
+		}
+		inc := s.grid.Recorder().Incident(p.ID)
+		if inc == nil {
+			return nil, fmt.Errorf("wire: unknown incident %q", p.ID)
+		}
+		return marshal(inc)
+
 	default:
 		return nil, fmt.Errorf("wire: unknown op %q", op)
 	}
@@ -691,6 +731,22 @@ func (s *Server) status() StatusInfo {
 		st.Sessions = append(st.Sessions, sessionInfo(s.sessions[name]))
 	}
 	return st
+}
+
+func incidentInfo(inc *obs.Incident) IncidentInfo {
+	row := IncidentInfo{
+		ID:        inc.ID,
+		Trigger:   inc.Trigger,
+		Subject:   inc.Subject,
+		AtSec:     inc.At.Seconds(),
+		SealedSec: inc.SealedAt.Seconds(),
+		Sealed:    inc.Sealed(),
+		Causal:    len(inc.Causal),
+	}
+	if inc.Report != nil {
+		row.Root = inc.Report.Root
+	}
+	return row
 }
 
 func alertInfo(f telemetry.Firing) AlertInfo {

@@ -12,6 +12,8 @@ package wire
 import (
 	"encoding/json"
 	"fmt"
+
+	"vmgrid/internal/obs"
 )
 
 // Request is one client->server message.
@@ -240,6 +242,37 @@ type TopInfo struct {
 type AlertsInfo struct {
 	Rules   []AlertRule `json:"rules"`
 	Firings []AlertInfo `json:"firings"`
+}
+
+// TraceInfo is the trace op response: a session's full causal tree
+// (every span sharing its TraceID, in recording order) plus the
+// postmortem report computed over it. Report is omitted when the
+// session root has not closed yet or the tracer retains no spans.
+type TraceInfo struct {
+	Session string           `json:"session"`
+	Trace   string           `json:"trace"` // hex TraceID
+	Spans   []obs.SpanRecord `json:"spans"`
+	Report  *obs.Report      `json:"report,omitempty"`
+}
+
+// IncidentRef names an incident bundle for the incident op.
+type IncidentRef struct {
+	ID string `json:"id"`
+}
+
+// IncidentInfo is one row of the incidents op response.
+type IncidentInfo struct {
+	ID      string  `json:"id"`
+	Trigger string  `json:"trigger"`
+	Subject string  `json:"subject"`
+	AtSec   float64 `json:"atSec"`
+	// SealedSec is negative while the incident is still open.
+	SealedSec float64 `json:"sealedSec"`
+	Sealed    bool    `json:"sealed"`
+	// Causal is how many spans the bundle's causal capture holds.
+	Causal int `json:"causal"`
+	// Root names the postmortem's root span ("" for rootless snapshots).
+	Root string `json:"root,omitempty"`
 }
 
 // WatchParams configures the watch op: Count streamed top frames,
