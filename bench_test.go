@@ -14,9 +14,15 @@ import (
 	"runtime"
 	"testing"
 
+	"vmgrid/internal/chunk"
 	"vmgrid/internal/experiments"
+	"vmgrid/internal/gram"
+	"vmgrid/internal/hostos"
+	"vmgrid/internal/hw"
+	"vmgrid/internal/netsim"
 	"vmgrid/internal/placement"
 	"vmgrid/internal/sim"
+	"vmgrid/internal/storage"
 )
 
 // fig1Samples is the per-scenario sample count the benchmarks use (the
@@ -232,6 +238,68 @@ func BenchmarkAblationBalance(b *testing.B) {
 		}
 	}
 	reportSamplesPerSec(b, 6)
+}
+
+// BenchmarkChunkedStage measures the content-addressed staging hot
+// path: one op stages a 256 MB image cold (every chunk crosses the
+// wire) and then re-stages it warm (every chunk hits the destination
+// cache) between two LAN nodes sharing a chunk plane.
+func BenchmarkChunkedStage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(uint64(i + 1))
+		net := netsim.New(k)
+		if err := net.BuildLAN("src", "dst"); err != nil {
+			b.Fatal(err)
+		}
+		srcHost, err := hostos.New(k, hw.ReferenceMachine("src"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dstHost, err := hostos.New(k, hw.ReferenceMachine("dst"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		plane := chunk.NewPlane(chunk.Config{})
+		src := storage.NewStore(srcHost)
+		src.SetChunkPlane(plane)
+		dst := storage.NewStore(dstHost)
+		dst.SetChunkPlane(plane)
+		if err := src.Create("image", 256<<20); err != nil {
+			b.Fatal(err)
+		}
+		for _, as := range []string{"cold", "warm"} {
+			ok := false
+			if err := gram.Stage(net, "src", src, "image", "dst", dst, as, func(err error) {
+				if err != nil {
+					b.Error(err)
+				}
+				ok = true
+			}); err != nil {
+				b.Fatal(err)
+			}
+			k.Run()
+			if !ok {
+				b.Fatalf("%s stage never finished", as)
+			}
+		}
+	}
+	reportSamplesPerSec(b, 2)
+}
+
+// BenchmarkDeltaCheckpoint regenerates ablation J: the chunk-size ×
+// checkpoint-interval sweep (1 sample x 12 cells per op, each cell a
+// staged-instantiation pair plus a supervised delta-checkpointed run).
+func BenchmarkDeltaCheckpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationDelta(uint64(i+1), 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+	reportSamplesPerSec(b, 12)
 }
 
 // BenchmarkAblationPartition regenerates ablation H: the partition

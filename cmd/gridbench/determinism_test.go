@@ -78,6 +78,7 @@ func TestOutputsByteIdenticalAcrossParallelism(t *testing.T) {
 		{"table2_s2.golden", []string{"-exp", "table2", "-samples", "2"}},
 		{"ablation-staging.golden", []string{"-exp", "ablation-staging"}},
 		{"ablation-balance.golden", []string{"-exp", "ablation-balance"}},
+		{"ablation-delta.golden", []string{"-exp", "ablation-delta"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.golden, func(t *testing.T) {

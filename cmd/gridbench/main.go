@@ -6,7 +6,8 @@
 //
 //	gridbench [-exp all|fig1|table1|table2|ablation-staging|ablation-cache|
 //	           ablation-sched|ablation-migration|ablation-rps|
-//	           ablation-recovery|ablation-partition|ablation-balance]
+//	           ablation-recovery|ablation-partition|ablation-balance|
+//	           ablation-delta]
 //	          [-seed N] [-samples N] [-parallel N] [-trace out.json]
 //	          [-telemetry out.json]
 //
@@ -256,6 +257,18 @@ func run(args []string) error {
 			emit(experiments.BalanceTable(rows))
 			return nil
 		},
+		"ablation-delta": func() error {
+			n := 0 // package default replicate count
+			if *samples > 0 {
+				n = *samples
+			}
+			rows, err := experiments.AblationDelta(*seed, n, workers)
+			if err != nil {
+				return err
+			}
+			emit(experiments.DeltaTable(rows))
+			return nil
+		},
 		"ablation-rps": func() error {
 			rows, err := experiments.AblationPredictors(*seed, workers)
 			if err != nil {
@@ -272,6 +285,7 @@ func run(args []string) error {
 			"ablation-staging", "ablation-cache", "ablation-sched",
 			"ablation-migration", "ablation-overlay", "ablation-rps",
 			"ablation-recovery", "ablation-partition", "ablation-balance",
+			"ablation-delta",
 		} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

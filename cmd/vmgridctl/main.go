@@ -454,6 +454,20 @@ func run(args []string) error {
 	}
 }
 
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
 func printTop(info wire.TopInfo) {
 	fmt.Printf("virtual time: %.1fs  (scrapes: %d)\n", info.VirtualSec, info.Scrapes)
 	fmt.Println("nodes:")
@@ -485,6 +499,14 @@ func printTop(info wire.TopInfo) {
 			line += fmt.Sprintf(" epoch=%d", s.Epoch)
 		}
 		fmt.Println(line)
+	}
+	if st := info.Staging; st != nil {
+		fmt.Printf("staging cache: hits=%d misses=%d hit-rate=%.1f%% saved=%s",
+			st.ChunkHits, st.ChunkMisses, st.HitRate*100, fmtBytes(st.BytesSaved))
+		if st.Evictions > 0 {
+			fmt.Printf(" evictions=%d", st.Evictions)
+		}
+		fmt.Println()
 	}
 	if len(info.Replicas) > 0 {
 		fmt.Println("gis replicas:")

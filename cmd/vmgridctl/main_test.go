@@ -1,10 +1,13 @@
 package main
 
 import (
+	"io"
+	"os"
 	"strings"
 	"testing"
 	"time"
 
+	"vmgrid/internal/chunk"
 	"vmgrid/internal/wire"
 )
 
@@ -308,5 +311,137 @@ func TestCtlWatchDrain(t *testing.T) {
 	}
 	if frames == 0 {
 		t.Fatal("no frames before drain")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	fn()
+	_ = w.Close()
+	os.Stdout = old
+	out := <-done
+	_ = r.Close()
+	return out
+}
+
+// TestCtlTopStagingLine: with the chunk plane enabled, staged session
+// creation drives dedup accounting that surfaces both in the Top wire
+// snapshot and in the rendered `top` output — and with the plane off,
+// the staging section stays absent.
+func TestCtlTopStagingLine(t *testing.T) {
+	// Plane off: no staging block at all.
+	plain := startDaemon(t)
+	c0, err := wire.Dial(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	top0, err := c0.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top0.Staging != nil {
+		t.Fatalf("staging block present without a chunk plane: %+v", top0.Staging)
+	}
+
+	srv := wire.NewServer(1)
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	srv.Grid().EnableChunkedStaging(chunk.Config{})
+	l := wire.NewLocal(srv)
+	steps := []func() error{
+		func() error {
+			return l.AddNode(wire.AddNodeParams{Name: "front", Site: "s", Roles: []string{"front-end"}})
+		},
+		func() error {
+			return l.AddNode(wire.AddNodeParams{Name: "c1", Site: "s", Roles: []string{"compute"},
+				Slots: 2, DHCPPrefix: "10.0.0."})
+		},
+		func() error {
+			return l.AddNode(wire.AddNodeParams{Name: "img", Site: "s", Roles: []string{"image-server"}})
+		},
+		func() error { return l.Connect("front", "c1", "lan") },
+		func() error { return l.Connect("front", "img", "lan") },
+		func() error { return l.Connect("c1", "img", "lan") },
+		func() error {
+			return l.InstallImage(wire.InstallImageParams{Node: "img", Name: "rh72", OS: "rh",
+				DiskBytes: 256 << 20, MemBytes: 64 << 20})
+		},
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("setup step %d: %v", i, err)
+		}
+	}
+	addr := srv.Addr()
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Cold staged create: every chunk misses.
+	if err := ctl(t, addr, "session", "-user", "u", "-front", "front", "-image", "rh72",
+		"-access", "staged"); err != nil {
+		t.Fatal(err)
+	}
+	top1, err := c.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top1.Staging == nil {
+		t.Fatal("no staging block with the chunk plane enabled")
+	}
+	if top1.Staging.ChunkMisses == 0 {
+		t.Errorf("cold staged create recorded no chunk misses: %+v", top1.Staging)
+	}
+
+	// Shut down and re-create: the content survives the files, so the
+	// second stage hits.
+	if err := ctl(t, addr, "shutdown", "-session", "sess-1-u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl(t, addr, "session", "-user", "u", "-front", "front", "-image", "rh72",
+		"-access", "staged"); err != nil {
+		t.Fatal(err)
+	}
+	top2, err := c.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top2.Staging.ChunkHits == 0 || top2.Staging.BytesSaved == 0 {
+		t.Errorf("warm staged create recorded no dedup: %+v", top2.Staging)
+	}
+	if top2.Staging.HitRate <= 0 {
+		t.Errorf("hit rate = %v after a warm create", top2.Staging.HitRate)
+	}
+
+	out := captureStdout(t, func() {
+		if err := ctl(t, addr, "top"); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "staging cache:") {
+		t.Errorf("rendered top lacks the staging cache line:\n%s", out)
+	}
+	for _, frag := range []string{"hits=", "misses=", "hit-rate=", "saved="} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("staging line lacks %q:\n%s", frag, out)
+		}
 	}
 }

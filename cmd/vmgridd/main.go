@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	vmgridd [-listen :7609] [-seed 1] [-demo]
+//	vmgridd [-listen :7609] [-seed 1] [-demo] [-chunked]
 //
 // With -demo the daemon pre-builds the two-site testbed used throughout
 // the paper reproduction: front end, two compute nodes and a data server
 // on one LAN, an image server across a WAN, a 2 GB RedHat 7.2 image
 // (warm snapshot included), and a 1 GB user dataset.
+//
+// With -chunked the grid runs the content-addressed chunk plane
+// (DESIGN.md §10): staged transfers dedup against per-node chunk
+// caches and `vmgridctl top` reports the grid-wide hit rate.
 //
 // The served grid is traced and telemetered from birth: the metrics,
 // spans, top, alerts, and watch wire ops always have data, and the
@@ -24,6 +28,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"vmgrid/internal/chunk"
 	"vmgrid/internal/hw"
 	"vmgrid/internal/wire"
 )
@@ -39,9 +44,13 @@ func run() error {
 	listen := flag.String("listen", ":7609", "listen address")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	demo := flag.Bool("demo", false, "pre-build the paper's two-site testbed")
+	chunked := flag.Bool("chunked", false, "enable the content-addressed chunked staging plane")
 	flag.Parse()
 
 	srv := wire.NewServer(*seed)
+	if *chunked {
+		srv.Grid().EnableChunkedStaging(chunk.Config{})
+	}
 	if *demo {
 		if err := buildDemo(srv); err != nil {
 			return fmt.Errorf("demo fabric: %w", err)

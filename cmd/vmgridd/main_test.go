@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"vmgrid/internal/chunk"
 	"vmgrid/internal/wire"
 )
 
@@ -32,6 +33,41 @@ func TestBuildDemoFabric(t *testing.T) {
 	}
 	if info.State != "running" {
 		t.Errorf("state = %q", info.State)
+	}
+}
+
+// TestChunkedDemoReportsStagingStats mirrors the README walkthrough:
+// a -chunked daemon's demo fabric records chunk traffic on a staged
+// session and surfaces it through the top op.
+func TestChunkedDemoReportsStagingStats(t *testing.T) {
+	srv := wire.NewServer(4)
+	srv.Grid().EnableChunkedStaging(chunk.Config{})
+	if err := buildDemo(srv); err != nil {
+		t.Fatal(err)
+	}
+	l := wire.NewLocal(srv)
+	// The demo pre-installs rh72 on every compute node, so installing it
+	// already minted each chunk into the node's cache: a staged session
+	// dedups completely against local content and moves nothing.
+	if _, err := l.NewSession(wire.SessionParams{
+		User: "demo", FrontEnd: "front", Image: "rh72",
+		Mode: "restore", Disk: "non-persistent", Access: "staged",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	top, err := l.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Staging == nil {
+		t.Fatal("chunked daemon reports no staging stats")
+	}
+	if top.Staging.ChunkHits == 0 || top.Staging.BytesSaved == 0 {
+		t.Errorf("staged session on a pre-imaged node saved nothing: %+v", top.Staging)
+	}
+	if top.Staging.ChunkMisses != 0 {
+		t.Errorf("pre-imaged node missed %d chunks staging its own image",
+			top.Staging.ChunkMisses)
 	}
 }
 

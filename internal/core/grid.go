@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"vmgrid/internal/chunk"
 	"vmgrid/internal/gis"
 	"vmgrid/internal/gram"
 	"vmgrid/internal/hostos"
@@ -53,6 +54,7 @@ type Grid struct {
 	monitor       *Monitor
 	supervisors   []*Supervisor
 	defaultPlacer placement.Placer
+	chunks        *chunk.Plane
 }
 
 // NewGrid creates an empty grid fabric seeded deterministically.
@@ -100,6 +102,33 @@ func (g *Grid) EnableGISReplication(nodes []string, gossipEvery sim.Duration) (*
 	c.Start()
 	return c, nil
 }
+
+// EnableChunkedStaging attaches a content-addressed chunk plane to
+// every node store (present and future): staging paths — session
+// creation, checkpoint staging, failover restores, fenced migrations,
+// tape traffic — then move only the chunks the destination does not
+// already hold, and supervised checkpoints overlap their copy window
+// with guest compute. Existing files get manifests in sorted node and
+// file order, so enabling the plane is deterministic. Call once, after
+// the topology exists or before it is built; without it every transfer
+// path behaves exactly as before chunking existed.
+func (g *Grid) EnableChunkedStaging(cfg chunk.Config) *chunk.Plane {
+	p := chunk.NewPlane(cfg)
+	g.chunks = p
+	names := make([]string, 0, len(g.nodes))
+	for name := range g.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g.nodes[name].store.SetChunkPlane(p)
+	}
+	return p
+}
+
+// ChunkPlane returns the grid's chunk plane, or nil when chunked
+// staging is not enabled.
+func (g *Grid) ChunkPlane() *chunk.Plane { return g.chunks }
 
 // epochGuardAt builds the fencing check a data-plane server at
 // serverNode applies to a session incarnation's operations: reject with
@@ -212,6 +241,9 @@ func (g *Grid) AddNode(cfg NodeConfig) (*Node, error) {
 		store:  storage.NewStore(host),
 		images: make(map[string]storage.ImageInfo),
 		slots:  cfg.Slots,
+	}
+	if g.chunks != nil {
+		n.store.SetChunkPlane(g.chunks)
 	}
 	n.vfsrv = vfs.NewServer(n.store)
 	g.net.AddNode(cfg.Name)

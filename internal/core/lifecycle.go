@@ -285,6 +285,7 @@ func (s *Session) restoreFrom(target *Node, writtenPages []int64, rctx obs.SpanC
 		MemBytes: s.cfg.MemBytes,
 		Disk:     cow,
 		MemImage: mem,
+		DirtyBps: s.cfg.DirtyBps,
 		Trace:    s.grid.tracer,
 		Ctx:      rctx,
 	})
@@ -304,6 +305,9 @@ func (s *Session) restoreFrom(target *Node, writtenPages []int64, rctx obs.SpanC
 			finish(err)
 			return
 		}
+		// The restore read the same file suspends will write, so the
+		// image is in sync: the next checkpoint can be a delta.
+		vm.PrimeImage()
 		if err := s.connect(); err != nil {
 			finish(err)
 			return
@@ -357,6 +361,7 @@ func (s *Session) arrive(target *Node, mctx obs.SpanContext, finish func(error))
 		MemBytes: s.cfg.MemBytes,
 		Disk:     cow,
 		MemImage: mem,
+		DirtyBps: s.cfg.DirtyBps,
 		Trace:    s.grid.tracer,
 		Ctx:      mctx,
 	})
@@ -403,6 +408,8 @@ func (s *Session) arrive(target *Node, mctx obs.SpanContext, finish func(error))
 			finish(fmt.Errorf("%w: migration superseded at arrival", ErrFencedEpoch))
 			return
 		}
+		// Restore source == suspend target here too: arm delta suspends.
+		vm.PrimeImage()
 		if err := s.connect(); err != nil {
 			finish(err)
 			return

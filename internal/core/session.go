@@ -107,6 +107,13 @@ type SessionConfig struct {
 	// HomeNode, when set, is where traffic tunnels if the compute site
 	// offers no addresses.
 	HomeNode string
+	// DirtyBps, when positive, bounds the guest's modeled memory
+	// dirtying rate: after the first full suspend, later suspends write
+	// only the bytes dirtied since the image was last in sync. Most
+	// useful with the grid's chunk plane (EnableChunkedStaging), where
+	// it turns periodic checkpoints into delta transfers. 0 keeps
+	// full-image suspends.
+	DirtyBps int64
 }
 
 func (c SessionConfig) validate() error {
@@ -553,6 +560,7 @@ func (s *Session) instantiate(ctx obs.SpanContext, done func(error)) {
 			MemBytes: s.cfg.MemBytes,
 			Disk:     disk,
 			MemImage: mem,
+			DirtyBps: s.cfg.DirtyBps,
 			Trace:    s.grid.tracer,
 			Ctx:      ctx,
 		})

@@ -44,6 +44,12 @@ type SupervisorConfig struct {
 	// the stable node and the front end) are identical to session
 	// creation and balancer target selection.
 	Placer placement.Placer
+	// StageRetry governs the checkpoint staging copies (.mem/.cow to
+	// the stable node), the same way vfs mounts and GRAM submits take a
+	// retry policy: a transient fabric failure mid-stage re-attempts
+	// with capped exponential backoff instead of abandoning the
+	// checkpoint. The zero value keeps the historical single attempt.
+	StageRetry retry.Policy
 }
 
 func (c *SupervisorConfig) fill() {
@@ -424,7 +430,7 @@ func (sup *Supervisor) checkpoint(c *charge, done func(error)) {
 		if c.slot == 0 {
 			spare = 1
 		}
-		sup.stageCheckpoint(c, spare, func(err error) {
+		commit := func(err error) error {
 			// A checkpoint begun before a failover must not commit: its
 			// image is the superseded incarnation's state.
 			if err == nil && c.epoch != ep {
@@ -441,6 +447,29 @@ func (sup *Supervisor) checkpoint(c *charge, done func(error)) {
 				sup.stats.Checkpoints++
 				sup.g.tracer.Metrics().Counter("core.checkpoints").Inc()
 			}
+			return err
+		}
+		if s.node.store.ChunkPlane() != nil {
+			// Pipelined checkpoint: the chunked stage snapshots both file
+			// manifests synchronously in this event (modeling a COW-
+			// protected checkpoint image), so the guest can resume now and
+			// compute while the chunks drain to stable storage in the
+			// background. Only the frozen window counts as checkpoint
+			// overhead; the slot still flips only when staging commits.
+			sup.stageCheckpoint(c, spare, func(err error) {
+				err = commit(err)
+				c.checkpointing = false
+				sp.EndErr(err)
+				finish(err)
+			})
+			sup.stats.CheckpointSec += sup.g.k.Now().Sub(suspendedAt).Seconds()
+			if s.vm != nil && s.State() == StateRunning {
+				_ = s.vm.Unpause()
+			}
+			return
+		}
+		sup.stageCheckpoint(c, spare, func(err error) {
+			err = commit(err)
 			// The node may have crashed while we staged; only a VM still
 			// sitting suspended resumes.
 			if s.vm != nil && s.State() == StateRunning {
@@ -457,30 +486,73 @@ func (sup *Supervisor) checkpoint(c *charge, done func(error)) {
 	}
 }
 
-// stageCheckpoint copies the session's .mem and .cow files into the
-// given checkpoint slot on the stable node.
-func (sup *Supervisor) stageCheckpoint(c *charge, slot int, done func(error)) {
+// stageBaseBackoff is the base delay between checkpoint-staging
+// retries when StageRetry leaves Backoff zero.
+const stageBaseBackoff = 500 * sim.Millisecond
+
+// stageFile copies one session state file into the stable store under
+// asName, retrying per cfg.StageRetry. Each attempt deletes whatever
+// partial file the previous one left, so a retry stages into a clean
+// name instead of tripping over ErrExists.
+func (sup *Supervisor) stageFile(c *charge, file, asName string, done func(error)) {
 	s := c.s
 	stable := sup.g.nodes[sup.cfg.StableNode]
-	memName, cowName := c.ckptFiles(slot)
-	for _, f := range []string{memName, cowName} {
-		if stable.store.Has(f) {
-			_ = stable.store.Delete(f)
+	attempts := sup.cfg.StageRetry.Attempts()
+	var attempt func(n int)
+	attempt = func(n int) {
+		if stable.store.Has(asName) {
+			_ = stable.store.Delete(asName)
 		}
-	}
-	if err := gram.Stage(sup.g.net, s.node.name, s.node.store, s.name+".mem",
-		stable.name, stable.store, memName, func(err error) {
-			if err != nil {
-				done(err)
+		retryOrFail := func(err error) {
+			if err != nil && n < attempts {
+				sup.g.tracer.Metrics().Counter("core.checkpoint-stage-retries").Inc()
+				sup.g.k.After(sup.cfg.StageRetry.Delay(n, stageBaseBackoff), func() {
+					attempt(n + 1)
+				})
 				return
 			}
-			if err := gram.Stage(sup.g.net, s.node.name, s.node.store, s.name+".cow",
-				stable.name, stable.store, cowName, done); err != nil {
-				done(err)
-			}
-		}); err != nil {
-		done(err)
+			done(err)
+		}
+		if err := gram.Stage(sup.g.net, s.node.name, s.node.store, file,
+			stable.name, stable.store, asName, retryOrFail); err != nil {
+			retryOrFail(err)
+		}
 	}
+	attempt(1)
+}
+
+// stageCheckpoint copies the session's .mem and .cow files into the
+// given checkpoint slot on the stable node, each copy under the
+// supervisor's staging retry policy. With the chunk plane enabled the
+// two copies run concurrently — their manifests snapshot in the same
+// event, so the pair is one consistent image even while the resumed
+// guest keeps dirtying the COW — and only missing chunks cross the
+// wire; without it they run back to back, as they always have.
+func (sup *Supervisor) stageCheckpoint(c *charge, slot int, done func(error)) {
+	s := c.s
+	memName, cowName := c.ckptFiles(slot)
+	if s.node.store.ChunkPlane() != nil {
+		pending := 2
+		var firstErr error
+		settle := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if pending--; pending == 0 {
+				done(firstErr)
+			}
+		}
+		sup.stageFile(c, s.name+".mem", memName, settle)
+		sup.stageFile(c, s.name+".cow", cowName, settle)
+		return
+	}
+	sup.stageFile(c, s.name+".mem", memName, func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		sup.stageFile(c, s.name+".cow", cowName, done)
+	})
 }
 
 // failover recovers a crashed charge: account the lost work, pick a

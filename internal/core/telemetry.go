@@ -42,6 +42,7 @@ func (g *Grid) EnableTelemetry(cfg telemetry.Config) (*telemetry.Collector, erro
 	col.AddSource(g.scrapeSessions)
 	col.AddSource(g.scrapeLeases)
 	col.AddSource(g.scrapeGIS)
+	col.AddSource(g.scrapeStaging)
 	if g.tracer != nil {
 		col.AttachRegistry("grid", g.tracer.Metrics())
 	}
@@ -189,6 +190,20 @@ func (g *Grid) scrapeLeases(r *telemetry.Recorder) {
 			r.Record("session.epoch", float64(c.epoch), telemetry.L("sess", name))
 		}
 	}
+}
+
+// scrapeStaging records the chunked-transfer plane's grid-wide dedup
+// counters when chunked staging is enabled: cache hits and misses (in
+// chunks) and the payload bytes those hits kept off the wire. The
+// series are cumulative counters, so rate() works on them.
+func (g *Grid) scrapeStaging(r *telemetry.Recorder) {
+	if g.chunks == nil {
+		return
+	}
+	st := g.chunks.Stats()
+	r.Record("staging.chunk.hits", float64(st.Hits))
+	r.Record("staging.chunk.misses", float64(st.Misses))
+	r.Record("staging.bytes_saved", float64(st.BytesSaved))
 }
 
 // scrapeGIS records replication health when the registry is clustered:

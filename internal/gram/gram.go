@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"vmgrid/internal/chunk"
 	"vmgrid/internal/hostos"
 	"vmgrid/internal/netsim"
 	"vmgrid/internal/obs"
@@ -278,10 +279,24 @@ func (c *Client) SubmitRetry(serverNode string, job Job, p retry.Policy, done fu
 // stageChunk is the transfer unit of explicit staging.
 const stageChunk int64 = 1 << 20
 
+// stageWindow is how many chunks a chunked stage keeps in flight:
+// double-buffered, so the source disk reads chunk i+1 while chunk i is
+// on the wire or landing on the destination disk.
+const stageWindow = 2
+
 // Stage copies a whole file between stores across the network — the
 // GASS/GridFTP file-staging model the paper contrasts with on-demand
 // virtual file systems: the entire file moves before work starts,
 // whether or not it is all used.
+//
+// When both stores share a content-addressed chunk plane, the copy is
+// chunked and deduplicated: the source ships the file's key manifest,
+// the destination answers with the chunks its cache lacks, and only
+// those cross the wire (pipelined, double-buffered). Chunks the
+// destination already holds materialize by copy-on-write reference,
+// free of I/O. The staged file's manifest is adopted from the source,
+// so identity propagates with the content. Without a shared plane the
+// pre-chunking whole-file path runs unchanged.
 func Stage(net *netsim.Network, srcNode string, src *storage.Store, file string,
 	dstNode string, dst *storage.Store, asName string, done func(error)) error {
 	size, err := src.Size(file)
@@ -290,6 +305,9 @@ func Stage(net *netsim.Network, srcNode string, src *storage.Store, file string,
 	}
 	if dst.Has(asName) {
 		return fmt.Errorf("gram: stage: %w: %s", storage.ErrExists, asName)
+	}
+	if plane := src.ChunkPlane(); plane != nil && plane == dst.ChunkPlane() {
+		return stageChunked(net, srcNode, src, file, dstNode, dst, asName, size, done)
 	}
 	if err := dst.Create(asName, 0); err != nil {
 		return err
@@ -327,4 +345,115 @@ func Stage(net *netsim.Network, srcNode string, src *storage.Store, file string,
 	}
 	step(0)
 	return nil
+}
+
+// stageChunked is the content-addressed staging path: manifest
+// negotiation, dedup against the destination's chunk cache, then a
+// double-buffered pipeline over the missing chunks.
+func stageChunked(net *netsim.Network, srcNode string, src *storage.Store, file string,
+	dstNode string, dst *storage.Store, asName string, size int64, done func(error)) error {
+	plane := src.ChunkPlane()
+	// The manifest snapshot is taken now, synchronously: a stage
+	// launched in the same event as a suspend captures the frozen
+	// image's identity even if the guest resumes and keeps dirtying the
+	// file while chunks move (a COW-protected checkpoint image).
+	keys := src.ChunkKeys(file)
+	if err := dst.Create(asName, 0); err != nil {
+		return err
+	}
+	srcFile, err := src.Open(file)
+	if err != nil {
+		return err
+	}
+	dstFile, err := dst.Open(asName)
+	if err != nil {
+		return err
+	}
+	finish := func(err error) {
+		if done != nil {
+			done(err)
+		}
+	}
+	if len(keys) == 0 {
+		net.Kernel().After(0, func() { finish(nil) })
+		return nil
+	}
+	cache := plane.CacheFor(dst.Host().Name())
+	// Round trip 1: the source ships the chunk manifest (8 bytes per
+	// key plus the control envelope).
+	manifestBytes := int64(len(keys))*8 + ControlMsgBytes
+	sendErr := net.Send(srcNode, dstNode, manifestBytes, nil, func(any) {
+		// At the destination: chunks already in the cache materialize by
+		// reference; the rest are requested back as a needed-chunk
+		// bitmap.
+		var missing []int
+		for i, k := range keys {
+			off, n := plane.Span(size, i)
+			if cache.Lookup(k, n) {
+				dst.AdoptChunk(asName, i, k, off, n)
+			} else {
+				missing = append(missing, i)
+			}
+		}
+		replyBytes := int64(len(keys)+7)/8 + ControlMsgBytes
+		sendErr := net.Send(dstNode, srcNode, replyBytes, nil, func(any) {
+			stagePipeline(net, srcNode, dstNode, srcFile, dstFile, plane, size, keys, missing, finish)
+		})
+		if sendErr != nil {
+			finish(sendErr)
+		}
+	})
+	if sendErr != nil {
+		// The manifest never left; undo the creation so a retry can run.
+		_ = dst.Delete(asName)
+		return sendErr
+	}
+	return nil
+}
+
+// stagePipeline moves the missing chunks with stageWindow of them in
+// flight at once: read chunk i+1 from the source disk while chunk i is
+// on the wire or being written — the copy stays busy end to end instead
+// of serializing read, send, write.
+func stagePipeline(net *netsim.Network, srcNode, dstNode string,
+	srcFile, dstFile *storage.LocalFile, plane *chunk.Plane, size int64,
+	keys []chunk.Key, missing []int, finish func(error)) {
+	next, inflight := 0, 0
+	failed := false
+	fail := func(err error) {
+		if !failed {
+			failed = true
+			finish(err)
+		}
+	}
+	var pump func()
+	landed := func() {
+		inflight--
+		pump()
+	}
+	pump = func() {
+		if failed {
+			return
+		}
+		if next >= len(missing) && inflight == 0 {
+			finish(nil)
+			return
+		}
+		for inflight < stageWindow && next < len(missing) {
+			i := missing[next]
+			next++
+			inflight++
+			off, n := plane.Span(size, i)
+			key := keys[i]
+			srcFile.ReadSequential(off, n, func() {
+				sendErr := net.Send(srcNode, dstNode, n, nil, func(any) {
+					dstFile.WriteChunkAs(i, key, off, n, landed)
+				})
+				if sendErr != nil {
+					fail(sendErr)
+				}
+			})
+		}
+	}
+	pump()
 }

@@ -1,0 +1,148 @@
+package gram
+
+import (
+	"testing"
+
+	"vmgrid/internal/chunk"
+	"vmgrid/internal/sim"
+	"vmgrid/internal/storage"
+)
+
+// TestStageChunkedDedup stages the same content twice: the cold stage
+// pays the wire for every chunk, and after the destination copy is
+// deleted (content outlives the name in the chunk cache) the re-stage
+// moves only manifest control traffic — the bytes saved are accounted
+// and the manifests match the source exactly.
+func TestStageChunkedDedup(t *testing.T) {
+	g := newGrid(t)
+	plane := chunk.NewPlane(chunk.Config{ChunkBytes: 1 << 20})
+	src := storage.NewStore(g.clientH)
+	src.SetChunkPlane(plane)
+	dst := storage.NewStore(g.server)
+	dst.SetChunkPlane(plane)
+	const size = 64 << 20
+	if err := src.Create("image", size); err != nil {
+		t.Fatal(err)
+	}
+
+	stage := func(asName string) sim.Duration {
+		t.Helper()
+		start := g.k.Now()
+		var end sim.Time = -1
+		if err := Stage(g.net, "front", src, "image", "compute", dst, asName, func(err error) {
+			if err != nil {
+				t.Errorf("stage %s: %v", asName, err)
+			}
+			end = g.k.Now()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		g.k.Run()
+		if end < 0 {
+			t.Fatalf("stage %s never finished", asName)
+		}
+		return end.Sub(start)
+	}
+
+	bytes0 := g.net.BytesSent()
+	cold := stage("image")
+	coldWire := g.net.BytesSent() - bytes0
+	if sz, _ := dst.Size("image"); sz != size {
+		t.Fatalf("staged size = %d", sz)
+	}
+	want := src.ChunkKeys("image")
+	got := dst.ChunkKeys("image")
+	if len(got) != len(want) {
+		t.Fatalf("dst manifest = %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chunk %d: staged key differs from source — identity lost in transfer", i)
+		}
+	}
+	// 64 MB over 100 Mbit is ≥ 5.1 s of wire no matter the pipelining.
+	if cold.Seconds() < 5 {
+		t.Errorf("cold stage took %.2fs, faster than the wire allows", cold.Seconds())
+	}
+	if coldWire < size {
+		t.Errorf("cold stage moved %d wire bytes, want ≥ %d (every chunk misses)", coldWire, size)
+	}
+
+	// Drop the name; the chunk cache still holds the content.
+	if err := dst.Delete("image"); err != nil {
+		t.Fatal(err)
+	}
+	savedBefore := plane.Stats().BytesSaved
+	bytes1 := g.net.BytesSent()
+	warm := stage("image")
+	warmWire := g.net.BytesSent() - bytes1
+	if warmWire >= size/16 {
+		t.Errorf("warm re-stage moved %d wire bytes, want control traffic only", warmWire)
+	}
+	if warm >= cold/4 {
+		t.Errorf("warm re-stage took %.2fs vs cold %.2fs — dedup not engaged",
+			warm.Seconds(), cold.Seconds())
+	}
+	st := plane.Stats()
+	if st.BytesSaved-savedBefore != uint64(size) {
+		t.Errorf("bytes saved = %d, want the full %d skipped", st.BytesSaved-savedBefore, size)
+	}
+	if sz, _ := dst.Size("image"); sz != size {
+		t.Errorf("warm-staged size = %d", sz)
+	}
+}
+
+// TestStageChunkedDelta: after the destination holds one generation, a
+// source write dirtying a single chunk makes the next stage move just
+// that chunk.
+func TestStageChunkedDelta(t *testing.T) {
+	g := newGrid(t)
+	plane := chunk.NewPlane(chunk.Config{ChunkBytes: 1 << 20})
+	src := storage.NewStore(g.clientH)
+	src.SetChunkPlane(plane)
+	dst := storage.NewStore(g.server)
+	dst.SetChunkPlane(plane)
+	const size = 32 << 20
+	if err := src.Create("state", size); err != nil {
+		t.Fatal(err)
+	}
+	run := func(asName string) {
+		t.Helper()
+		ok := false
+		if err := Stage(g.net, "front", src, "state", "compute", dst, asName, func(err error) {
+			if err != nil {
+				t.Errorf("stage %s: %v", asName, err)
+			}
+			ok = true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		g.k.Run()
+		if !ok {
+			t.Fatalf("stage %s never finished", asName)
+		}
+	}
+	run("gen0")
+
+	f, err := src.Open("state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(5<<20+100, 1000, nil) // dirty exactly chunk 5
+	g.k.Run()
+
+	bytes0 := g.net.BytesSent()
+	run("gen1")
+	wire := g.net.BytesSent() - bytes0
+	// One 1 MiB chunk plus manifest/bitmap control messages.
+	if max := int64(2 << 20); int64(wire) > max {
+		t.Errorf("delta stage moved %d wire bytes, want ≤ %d (one dirty chunk)", wire, max)
+	}
+	got := dst.ChunkKeys("gen1")
+	want := src.ChunkKeys("state")
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chunk %d of gen1 differs from source", i)
+		}
+	}
+}

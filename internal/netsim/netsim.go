@@ -39,6 +39,7 @@ type Network struct {
 	routes        map[string]*srcRoutes
 	routeComputes uint64
 	drops         uint64
+	bytesSent     uint64
 
 	freeMsgs *message
 }
@@ -316,6 +317,11 @@ func (n *Network) invalidateNodeUp(nd *Node) {
 // disappeared while they were in flight.
 func (n *Network) Drops() uint64 { return n.drops }
 
+// BytesSent returns total payload bytes handed to Send for remote
+// delivery (local src==dst loopback excluded) — the bytes-on-wire
+// measure the staging experiments compare against full-copy baselines.
+func (n *Network) BytesSent() uint64 { return n.bytesSent }
+
 // RouteComputes returns how many per-source BFS computations have run.
 // Fault-injection tests assert on this: flapping a link must not
 // recompute routes for sources whose paths never touched it.
@@ -438,6 +444,7 @@ func (n *Network) Send(src, dst string, size int64, payload any, deliver func(pa
 		n.putMsg(m)
 		return fmt.Errorf("%w: %s -> %s", ErrNoRoute, src, dst)
 	}
+	n.bytesSent += uint64(size)
 	l := from.links[hop]
 	m.at = l.to
 	l.transmit(size, m.hopFn)

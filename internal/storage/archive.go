@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"vmgrid/internal/chunk"
 	"vmgrid/internal/sim"
 )
 
@@ -34,11 +35,23 @@ type Archive struct {
 
 	mounts uint64
 	bytes  uint64
+
+	// Chunk-plane state: the manifest each archived file carried and a
+	// refcount of the chunks on tape. Files archived from plane-attached
+	// stores stream only the chunks the tape does not already hold, and
+	// recalls skip chunks the destination node's cache still names.
+	manifests map[string][]chunk.Key
+	held      map[chunk.Key]int
 }
 
 // NewArchive creates an empty tape library.
 func NewArchive(k *sim.Kernel) *Archive {
-	return &Archive{k: k, files: make(map[string]int64)}
+	return &Archive{
+		k:         k,
+		files:     make(map[string]int64),
+		manifests: make(map[string][]chunk.Key),
+		held:      make(map[chunk.Key]int),
+	}
 }
 
 // Has reports whether a file is on tape.
@@ -80,6 +93,9 @@ func (a *Archive) transfer(size int64, done func()) {
 
 // Store archives a file from a node's store: the bytes stream from disk
 // to tape, then the online copy is deleted. done receives any error.
+// With a chunk plane on the source store, only chunks the tape does not
+// already hold are read and streamed — archiving the fifth copy of a
+// mostly-unchanged image pays for its delta, not its size.
 func (a *Archive) Store(src *Store, name string, done func(error)) error {
 	size, err := src.Size(name)
 	if err != nil {
@@ -92,22 +108,49 @@ func (a *Archive) Store(src *Store, name string, done func(error)) error {
 	if err != nil {
 		return err
 	}
-	// Read the file once (sequential) and stream it to tape; the slower
-	// device dominates, so charge both and complete on the later one.
-	f.ReadSequential(0, size, func() {
-		a.transfer(size, func() {
+	stream := size
+	var keys []chunk.Key
+	if plane := src.ChunkPlane(); plane != nil {
+		keys = src.ChunkKeys(name)
+		stream = 0
+		for i, k := range keys {
+			if a.held[k] == 0 {
+				_, n := plane.Span(size, i)
+				stream += n
+			}
+		}
+	}
+	commit := func() {
+		a.transfer(stream, func() {
 			delErr := src.Delete(name)
 			a.files[name] = size
+			if keys != nil {
+				a.manifests[name] = keys
+				for _, k := range keys {
+					a.held[k]++
+				}
+			}
 			if done != nil {
 				done(delErr)
 			}
 		})
-	})
+	}
+	// Read what must stream (sequential) and send it to tape; the
+	// slower device dominates, so charge both and complete on the later
+	// one. Deduplicated chunks are neither read nor streamed.
+	if stream == 0 {
+		commit()
+		return nil
+	}
+	f.ReadSequential(0, stream, commit)
 	return nil
 }
 
 // Recall restores a file from tape into a store. done receives any
-// error.
+// error. When the file was archived with a chunk manifest and the
+// destination store shares a plane, chunks the destination node still
+// holds are materialized by reference and only the rest stream off tape
+// (the mount is paid regardless).
 func (a *Archive) Recall(dst *Store, name string, done func(error)) error {
 	size, ok := a.files[name]
 	if !ok {
@@ -116,25 +159,61 @@ func (a *Archive) Recall(dst *Store, name string, done func(error)) error {
 	if dst.Has(name) {
 		return fmt.Errorf("%w: %s", ErrExists, name)
 	}
-	a.transfer(size, func() {
-		if err := dst.Create(name, size); err != nil {
-			if done != nil {
-				done(err)
+	finish := func(err error) {
+		if done != nil {
+			done(err)
+		}
+	}
+	keys := a.manifests[name]
+	plane := dst.ChunkPlane()
+	stream := size
+	if plane != nil && keys != nil {
+		cache := plane.CacheFor(dst.Host().Name())
+		stream = 0
+		for i, k := range keys {
+			_, n := plane.Span(size, i)
+			if !cache.Lookup(k, n) {
+				stream += n
 			}
+		}
+	}
+	forget := func() {
+		delete(a.files, name)
+		if m := a.manifests[name]; m != nil {
+			delete(a.manifests, name)
+			for _, k := range m {
+				if a.held[k]--; a.held[k] <= 0 {
+					delete(a.held, k)
+				}
+			}
+		}
+	}
+	a.transfer(stream, func() {
+		var err error
+		if plane != nil && keys != nil {
+			err = dst.CreateWithChunks(name, size, keys)
+		} else {
+			err = dst.Create(name, size)
+		}
+		if err != nil {
+			finish(err)
+			return
+		}
+		if stream == 0 {
+			forget()
+			finish(nil)
 			return
 		}
 		f, err := dst.Open(name)
 		if err != nil {
-			if done != nil {
-				done(err)
-			}
+			finish(err)
 			return
 		}
-		f.Write(0, size, func() {
-			delete(a.files, name)
-			if done != nil {
-				done(nil)
-			}
+		// Only the streamed bytes are written to disk; deduplicated
+		// chunks are references to content the node already holds.
+		f.store.host.Cache().Write(f.store.host.Kernel(), f.Name(), 0, stream, func() {
+			forget()
+			finish(nil)
 		})
 	})
 	return nil
@@ -147,5 +226,13 @@ func (a *Archive) Remove(name string) error {
 		return fmt.Errorf("%w: %s", ErrNotArchived, name)
 	}
 	delete(a.files, name)
+	if m := a.manifests[name]; m != nil {
+		delete(a.manifests, name)
+		for _, k := range m {
+			if a.held[k]--; a.held[k] <= 0 {
+				delete(a.held, k)
+			}
+		}
+	}
 	return nil
 }

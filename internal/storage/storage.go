@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"vmgrid/internal/chunk"
 	"vmgrid/internal/hostos"
 )
 
@@ -47,6 +48,12 @@ type Backend interface {
 type Store struct {
 	host  *hostos.Host
 	files map[string]int64
+
+	// plane, when attached, gives every file a content-key manifest so
+	// staging paths can dedup against the node's chunk cache. nil (the
+	// default) keeps the pre-chunking behavior exactly.
+	plane  *chunk.Plane
+	chunks map[string][]chunk.Key
 }
 
 // NewStore creates an empty store on h.
@@ -56,6 +63,123 @@ func NewStore(h *hostos.Host) *Store {
 
 // Host returns the owning host.
 func (s *Store) Host() *hostos.Host { return s.host }
+
+// SetChunkPlane attaches the content-addressed chunk plane: existing
+// files get fresh manifests (their content predates the plane, so the
+// keys are newly minted) and every chunk is recorded in the node's
+// cache. Files are processed in sorted-name order so key assignment is
+// deterministic regardless of map layout.
+func (s *Store) SetChunkPlane(p *chunk.Plane) {
+	s.plane = p
+	s.chunks = make(map[string][]chunk.Key, len(s.files))
+	for _, name := range s.Files() {
+		s.mintManifest(name)
+	}
+}
+
+// ChunkPlane returns the attached plane, or nil.
+func (s *Store) ChunkPlane() *chunk.Plane { return s.plane }
+
+// ChunkKeys returns a snapshot of the file's chunk manifest (nil when
+// no plane is attached or the file is unknown).
+func (s *Store) ChunkKeys(name string) []chunk.Key {
+	keys, ok := s.chunks[name]
+	if !ok {
+		return nil
+	}
+	return append([]chunk.Key(nil), keys...)
+}
+
+// cache returns this node's chunk cache.
+func (s *Store) cache() *chunk.Cache { return s.plane.CacheFor(s.host.Name()) }
+
+// mintManifest issues fresh keys for every chunk of the file and
+// records them as held by this node.
+func (s *Store) mintManifest(name string) {
+	size := s.files[name]
+	total := s.plane.Count(size)
+	keys := make([]chunk.Key, total)
+	cache := s.cache()
+	for i := range keys {
+		_, n := s.plane.Span(size, i)
+		keys[i] = s.plane.Mint()
+		cache.Add(keys[i], n)
+	}
+	s.chunks[name] = keys
+}
+
+// touchChunks re-mints the keys of every chunk overlapping a guest
+// write to [off, off+n): the content changed, so its old identity is
+// gone. Chunks added by growth but outside the written range keep the
+// reserved zero key (file holes are all-zero and legitimately dedup
+// against each other).
+func (s *Store) touchChunks(name string, off, n int64) {
+	if s.plane == nil || n <= 0 {
+		return
+	}
+	size := s.files[name]
+	total := s.plane.Count(size)
+	keys := s.chunks[name]
+	for len(keys) < total {
+		keys = append(keys, 0)
+	}
+	cb := s.plane.ChunkBytes()
+	cache := s.cache()
+	last := int((off + n - 1) / cb)
+	for i := int(off / cb); i <= last && i < total; i++ {
+		_, cn := s.plane.Span(size, i)
+		keys[i] = s.plane.Mint()
+		cache.Add(keys[i], cn)
+	}
+	s.chunks[name] = keys
+}
+
+// adoptChunk records that chunk i of the file holds key: content copied
+// from elsewhere keeps its identity instead of minting a new one. The
+// file grows to cover the chunk. Used by the staging paths both for
+// transferred chunks and for dedup hits materialized by reference.
+func (s *Store) adoptChunk(name string, i int, key chunk.Key, off, n int64) {
+	if end := off + n; end > s.files[name] {
+		s.files[name] = end
+	}
+	keys := s.chunks[name]
+	for len(keys) <= i {
+		keys = append(keys, 0)
+	}
+	keys[i] = key
+	s.chunks[name] = keys
+	s.cache().Add(key, n)
+}
+
+// AdoptChunk is adoptChunk for dedup hits: no bytes move and no I/O is
+// charged — the node already holds the content, and materializing it
+// into the file is a copy-on-write reference. [off, off+n) is the
+// chunk's extent in the destination file.
+func (s *Store) AdoptChunk(name string, i int, key chunk.Key, off, n int64) {
+	s.adoptChunk(name, i, key, off, n)
+}
+
+// CreateWithChunks creates a file carrying an existing manifest (a tape
+// recall landing content whose identity is known), seeding the node
+// cache with every key.
+func (s *Store) CreateWithChunks(name string, size int64, keys []chunk.Key) error {
+	if err := s.Create(name, 0); err != nil {
+		return err
+	}
+	if s.plane == nil {
+		s.files[name] = size
+		return nil
+	}
+	s.files[name] = size
+	adopted := append([]chunk.Key(nil), keys...)
+	cache := s.cache()
+	for i, k := range adopted {
+		_, n := s.plane.Span(size, i)
+		cache.Add(k, n)
+	}
+	s.chunks[name] = adopted
+	return nil
+}
 
 // Create adds an empty-to-size file without charging I/O (the bytes are
 // assumed pre-existing, e.g. an archived image).
@@ -70,6 +194,9 @@ func (s *Store) Create(name string, size int64) error {
 		return fmt.Errorf("%w: %s", ErrExists, name)
 	}
 	s.files[name] = size
+	if s.plane != nil {
+		s.mintManifest(name)
+	}
 	return nil
 }
 
@@ -88,12 +215,15 @@ func (s *Store) Size(name string) (int64, error) {
 	return sz, nil
 }
 
-// Delete removes the file and drops its cached pages.
+// Delete removes the file and drops its cached pages. The node's chunk
+// cache keeps the file's keys: the content blocks outlive the name in
+// the content store, which is what makes cross-session dedup work.
 func (s *Store) Delete(name string) error {
 	if _, ok := s.files[name]; !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	delete(s.files, name)
+	delete(s.chunks, name)
 	s.host.Cache().Invalidate(s.qualify(name))
 	return nil
 }
@@ -145,6 +275,12 @@ func (s *Store) Copy(src, dst string, done func()) error {
 		return fmt.Errorf("%w: %s", ErrExists, dst)
 	}
 	s.files[dst] = size
+	if s.plane != nil {
+		// Same-node duplication: the copy's content is the source's, so
+		// the manifest carries over (every key is already in this node's
+		// cache).
+		s.chunks[dst] = append([]chunk.Key(nil), s.chunks[src]...)
+	}
 	k := s.host.Kernel()
 	cache := s.host.Cache()
 	var step func(off int64)
@@ -197,10 +333,21 @@ func (f *LocalFile) ReadSequential(off, size int64, done func()) {
 	f.store.host.Cache().ReadSequential(f.store.host.Kernel(), f.Name(), off, size, done)
 }
 
-// Write implements Backend, growing the file as needed.
+// Write implements Backend, growing the file as needed. With a chunk
+// plane attached, the touched chunks' keys are re-minted: the content
+// changed, so its old identity no longer names it.
 func (f *LocalFile) Write(off, size int64, done func()) {
 	if end := off + size; end > f.store.files[f.name] {
 		f.store.files[f.name] = end
 	}
+	f.store.touchChunks(f.name, off, size)
 	f.store.host.Cache().Write(f.store.host.Kernel(), f.Name(), off, size, done)
+}
+
+// WriteChunkAs writes chunk i's bytes [off, off+n) and records key for
+// it: a transfer landing content copied from elsewhere, which keeps its
+// identity instead of minting a new one the way a guest Write would.
+func (f *LocalFile) WriteChunkAs(i int, key chunk.Key, off, n int64, done func()) {
+	f.store.adoptChunk(f.name, i, key, off, n)
+	f.store.host.Cache().WriteSequential(f.store.host.Kernel(), f.Name(), off, n, done)
 }

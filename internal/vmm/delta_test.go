@@ -1,0 +1,166 @@
+package vmm
+
+import (
+	"errors"
+	"testing"
+
+	"vmgrid/internal/hw"
+	"vmgrid/internal/sim"
+	"vmgrid/internal/storage"
+)
+
+// deltaVM builds a VM like newVM but with a guest dirty rate, backed by
+// a private memory file so suspend writes are observable.
+func (r *rig) deltaVM(t *testing.T, name string, dirtyBps int64) *VM {
+	t.Helper()
+	base, err := r.store.Open("rh72.disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := r.store.OpenOrCreate(name + ".cow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := r.store.OpenOrCreate(name + ".mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := New(r.host, Config{
+		Name:     name,
+		MemBytes: 128 * hw.MB,
+		Disk:     storage.NewCowDisk(base, diff),
+		MemImage: mem,
+		DirtyBps: dirtyBps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+// suspendDuration suspends the VM and returns how long the memory-image
+// write took.
+func suspendDuration(t *testing.T, k *sim.Kernel, vm *VM) sim.Duration {
+	t.Helper()
+	start := k.Now()
+	var end sim.Time = -1
+	if err := vm.Suspend(func(err error) {
+		if err != nil {
+			t.Errorf("suspend: %v", err)
+		}
+		end = k.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if end < 0 {
+		t.Fatal("suspend never completed")
+	}
+	return end.Sub(start)
+}
+
+// TestDeltaSuspendWritesOnlyDirtyWindow: the first suspend always
+// writes the full image (the private file starts empty), and once the
+// image is primed, subsequent suspends write only the window the guest
+// could have dirtied — orders of magnitude less for a briefly-running
+// guest.
+func TestDeltaSuspendWritesOnlyDirtyWindow(t *testing.T) {
+	r := newRig(t)
+	vm := r.deltaVM(t, "vm1", 256<<10)
+	started := false
+	if err := vm.Start(ColdBoot, func(err error) {
+		if err != nil {
+			t.Errorf("start: %v", err)
+		}
+		started = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run()
+	if !started {
+		t.Fatal("VM never started")
+	}
+	full := suspendDuration(t, r.k, vm)
+	if err := vm.Unpause(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 s of guest time dirties ≤ 2.5 MB + the 1 MB floor.
+	if err := r.k.RunUntil(r.k.Now().Add(10 * sim.Second)); err != nil && !errors.Is(err, sim.ErrStalled) {
+		t.Fatal(err)
+	}
+	delta := suspendDuration(t, r.k, vm)
+	if delta*10 >= full {
+		t.Errorf("delta suspend took %.2fs vs full %.2fs — want ≥ 10x cheaper",
+			delta.Seconds(), full.Seconds())
+	}
+
+	// A guest that runs long enough re-dirties everything: the delta
+	// estimate must cap at the full image, not beyond.
+	if err := vm.Unpause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.k.RunUntil(r.k.Now().Add(2 * sim.Hour)); err != nil && !errors.Is(err, sim.ErrStalled) {
+		t.Fatal(err)
+	}
+	recap := suspendDuration(t, r.k, vm)
+	if recap > full+sim.Second {
+		t.Errorf("fully-dirty suspend took %.2fs, full write takes %.2fs — estimate exceeds the image",
+			recap.Seconds(), full.Seconds())
+	}
+}
+
+// TestDeltaDisabledWithoutDirtyRate: DirtyBps zero keeps the historical
+// full write on every suspend.
+func TestDeltaDisabledWithoutDirtyRate(t *testing.T) {
+	r := newRig(t)
+	vm := r.deltaVM(t, "vm1", 0)
+	if err := vm.Start(ColdBoot, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run()
+	first := suspendDuration(t, r.k, vm)
+	if err := vm.Unpause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.k.RunUntil(r.k.Now().Add(10 * sim.Second)); err != nil && !errors.Is(err, sim.ErrStalled) {
+		t.Fatal(err)
+	}
+	second := suspendDuration(t, r.k, vm)
+	// Both are full 128 MB writes; allow scheduling slack.
+	if second*2 < first {
+		t.Errorf("second suspend (%.2fs) much cheaper than first (%.2fs) with delta off",
+			second.Seconds(), first.Seconds())
+	}
+}
+
+// TestPrimeImageArmsDelta: priming (what migration arrival and failover
+// restore do after reading the staged image back) makes even the first
+// suspend a delta.
+func TestPrimeImageArmsDelta(t *testing.T) {
+	r := newRig(t)
+	vm := r.deltaVM(t, "vm1", 256<<10)
+	if err := vm.Start(ColdBoot, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run()
+	vm.PrimeImage()
+	if err := r.k.RunUntil(r.k.Now().Add(10 * sim.Second)); err != nil && !errors.Is(err, sim.ErrStalled) {
+		t.Fatal(err)
+	}
+	primed := suspendDuration(t, r.k, vm)
+
+	r2 := newRig(t)
+	vm2 := r2.deltaVM(t, "vm1", 256<<10)
+	if err := vm2.Start(ColdBoot, nil); err != nil {
+		t.Fatal(err)
+	}
+	r2.k.Run()
+	if err := r2.k.RunUntil(r2.k.Now().Add(10 * sim.Second)); err != nil && !errors.Is(err, sim.ErrStalled) {
+		t.Fatal(err)
+	}
+	unprimed := suspendDuration(t, r2.k, vm2)
+	if primed*10 >= unprimed {
+		t.Errorf("primed first suspend took %.2fs vs unprimed %.2fs — want ≥ 10x cheaper",
+			primed.Seconds(), unprimed.Seconds())
+	}
+}

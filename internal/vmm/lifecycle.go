@@ -134,8 +134,10 @@ func (vm *VM) Suspend(done func(error)) error {
 	vm.updateDemand()
 	vm.recompute() // freezes guest tasks at rate 0
 	sp := vm.cfg.Trace.BeginChild(vm.cfg.Ctx, vm.cfg.Name, "vmm", "suspend")
-	vm.writeMemImage(0, func() {
+	vm.writeMemImage(0, vm.dirtyBytes(), func() {
 		sp.End()
+		vm.imagePrimed = true
+		vm.imageSyncAt = vm.Kernel().Now()
 		vm.state = StateSuspended
 		vm.updateDemand()
 		if done != nil {
@@ -145,18 +147,47 @@ func (vm *VM) Suspend(done func(error)) error {
 	return nil
 }
 
-func (vm *VM) writeMemImage(off int64, done func()) {
+// PrimeImage marks the memory image as exactly matching guest memory
+// right now, arming delta suspends. Callers must guarantee that the
+// backend a future Suspend writes holds the guest's full memory — true
+// after a WarmRestore whose restore source IS the suspend target (the
+// migration-arrival and failover-restore paths, where the staged
+// session file serves both roles), never for a fresh session whose
+// private file is still empty.
+func (vm *VM) PrimeImage() {
+	vm.imagePrimed = true
+	vm.imageSyncAt = vm.Kernel().Now()
+}
+
+// dirtyBytes estimates how much of the memory image a Suspend must
+// rewrite. Without dirty-rate modeling (or before the first full
+// write), that is everything; afterwards it is the bytes the guest
+// could have dirtied since the image was last in sync, floored at one
+// restore chunk so a suspend always writes something.
+func (vm *VM) dirtyBytes() int64 {
 	size := vm.cfg.MemBytes
-	if off >= size {
+	if vm.cfg.DirtyBps <= 0 || !vm.imagePrimed {
+		return size
+	}
+	elapsed := vm.Kernel().Now().Sub(vm.imageSyncAt).Seconds()
+	dirty := restoreChunk + int64(float64(vm.cfg.DirtyBps)*elapsed)
+	if dirty > size {
+		dirty = size
+	}
+	return dirty
+}
+
+func (vm *VM) writeMemImage(off, limit int64, done func()) {
+	if off >= limit {
 		done()
 		return
 	}
 	n := restoreChunk
-	if off+n > size {
-		n = size - off
+	if off+n > limit {
+		n = limit - off
 	}
 	vm.cfg.MemImage.Write(off, n, func() {
-		vm.writeMemImage(off+n, done)
+		vm.writeMemImage(off+n, limit, done)
 	})
 }
 

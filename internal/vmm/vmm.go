@@ -122,6 +122,15 @@ type Config struct {
 	// MemImage, when set, is where the saved memory state lives: read
 	// on restore, written on suspend.
 	MemImage storage.Backend
+	// DirtyBps, when positive, models the guest's memory dirtying rate
+	// (bytes per wall-clock second): after the image has been written
+	// in full once, later Suspends write only the bytes dirtied since
+	// the image was last in sync (floored at one restore chunk, capped
+	// at MemBytes). Zero keeps full-image suspends — the historical
+	// behavior. With the chunk plane attached to the backing store,
+	// the untouched chunks keep their content keys, so checkpoint
+	// staging ships deltas instead of full images.
+	DirtyBps int64
 	// Cost overrides the cost model (zero value = DefaultCostModel).
 	Cost CostModel
 	// Trace, when non-nil, records lifecycle spans (init, boot, restore,
@@ -149,6 +158,14 @@ type VM struct {
 	// gWS tracks the modeled world-switch rate (Hz) while the host
 	// contends with the monitor; nil (free) when tracing is off.
 	gWS *obs.Gauge
+
+	// imagePrimed is set once a Suspend has written the full memory
+	// image to cfg.MemImage — only then can later suspends write dirty
+	// deltas on top of a known-complete base.
+	imagePrimed bool
+	// imageSyncAt is when the image last matched guest memory; the
+	// dirty estimate accrues DirtyBps from this instant.
+	imageSyncAt sim.Time
 }
 
 var _ guest.CPU = (*VM)(nil)

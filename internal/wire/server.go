@@ -817,6 +817,16 @@ func (s *Server) top() TopInfo {
 		row.VFSRetries = retries
 		info.Sessions = append(info.Sessions, row)
 	}
+	if p := s.grid.ChunkPlane(); p != nil {
+		st := p.Stats()
+		info.Staging = &TopStaging{
+			ChunkHits:   st.Hits,
+			ChunkMisses: st.Misses,
+			HitRate:     st.HitRate(),
+			BytesSaved:  st.BytesSaved,
+			Evictions:   st.Evictions,
+		}
+	}
 	if cl := s.grid.Info().Cluster(); cl != nil {
 		for i := 0; i < cl.Size(); i++ {
 			info.Replicas = append(info.Replicas, TopReplica{

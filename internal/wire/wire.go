@@ -200,6 +200,18 @@ type TopSession struct {
 	Epoch       int64   `json:"epoch,omitempty"` // fencing epoch (0 until first failover)
 }
 
+// TopStaging is the chunked staging plane's grid-wide dedup summary
+// (present only when chunked staging is enabled): how many chunk
+// transfers the per-node caches answered locally, and the payload bytes
+// that never crossed the wire because of it.
+type TopStaging struct {
+	ChunkHits   uint64  `json:"chunkHits"`
+	ChunkMisses uint64  `json:"chunkMisses"`
+	HitRate     float64 `json:"hitRate"`
+	BytesSaved  uint64  `json:"bytesSaved"`
+	Evictions   uint64  `json:"evictions,omitempty"`
+}
+
 // TopReplica is one GIS replica row of a top snapshot (present only on
 // grids running a replicated registry).
 type TopReplica struct {
@@ -233,6 +245,7 @@ type TopInfo struct {
 	Scrapes    int          `json:"scrapes"`
 	Nodes      []TopNode    `json:"nodes"`
 	Sessions   []TopSession `json:"sessions"`
+	Staging    *TopStaging  `json:"staging,omitempty"`  // chunk dedup, if enabled
 	Replicas   []TopReplica `json:"replicas,omitempty"` // GIS replicas, if clustered
 	Alerts     []AlertInfo  `json:"alerts"`             // active firings only
 }
